@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared harness for the table/figure reproduction binaries: runs the
+ * workload x configuration matrix once and exposes the metrics, plus
+ * small table-printing helpers.
+ *
+ * Flags understood by every bench binary:
+ *   --scale=<f>  problem-size multiplier (default 1.0)
+ *   --paper      paper-scale inputs (scale 2.0; slower)
+ *   --quick      tiny inputs for smoke runs (scale 0.25)
+ */
+
+#ifndef DISTDA_BENCH_BENCH_COMMON_HH
+#define DISTDA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/driver/runner.hh"
+#include "src/sim/logging.hh"
+#include "src/workloads/workload.hh"
+
+namespace distda::bench
+{
+
+/** Parse the common CLI flags. */
+inline driver::RunOptions
+parseOptions(int argc, char **argv)
+{
+    driver::RunOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            opts.scale = std::atof(argv[i] + 8);
+        else if (std::strcmp(argv[i], "--paper") == 0)
+            opts.scale = 2.0;
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            opts.scale = 0.25;
+    }
+    return opts;
+}
+
+/** Results of a full workload x model sweep. */
+class Sweep
+{
+  public:
+    Sweep(const std::vector<driver::ArchModel> &models,
+          const driver::RunOptions &opts)
+        : _models(models)
+    {
+        setInformEnabled(false);
+        for (const std::string &w : workloads::workloadNames()) {
+            for (driver::ArchModel m : models) {
+                driver::RunConfig cfg;
+                cfg.model = m;
+                _metrics[{w, m}] = driver::runWorkload(w, cfg, opts);
+            }
+        }
+    }
+
+    const driver::Metrics &
+    at(const std::string &workload, driver::ArchModel m) const
+    {
+        return _metrics.at({workload, m});
+    }
+
+    const std::vector<driver::ArchModel> &models() const
+    {
+        return _models;
+    }
+
+    std::vector<std::string>
+    workloads() const
+    {
+        return distda::workloads::workloadNames();
+    }
+
+  private:
+    std::vector<driver::ArchModel> _models;
+    std::map<std::pair<std::string, driver::ArchModel>,
+             driver::Metrics>
+        _metrics;
+};
+
+/** Print one table row: label then fixed-width numeric cells. */
+inline void
+printRow(const std::string &label, const std::vector<double> &cells,
+         const char *fmt = "%10.3f")
+{
+    std::printf("%-14s", label.c_str());
+    for (double v : cells)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+/** Print the header row for a set of models. */
+inline void
+printModelHeader(const std::vector<driver::ArchModel> &models,
+                 const char *first_col = "benchmark")
+{
+    std::printf("%-14s", first_col);
+    for (driver::ArchModel m : models)
+        std::printf("%10s", driver::archModelName(m));
+    std::printf("\n");
+}
+
+} // namespace distda::bench
+
+#endif // DISTDA_BENCH_BENCH_COMMON_HH

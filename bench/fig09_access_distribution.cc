@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 9 reproduction: distribution of dynamic accesses between
+ * accelerator resources, in bytes — intra (local buffer traffic),
+ * D-A (accelerator <-> cache hierarchy) and A-A (inter-accelerator) —
+ * for each accelerator configuration. Applications with good spatial
+ * locality show a high intra share.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace distda;
+using driver::ArchModel;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    const std::vector<ArchModel> models = {
+        ArchModel::MonoCA, ArchModel::MonoDA_IO, ArchModel::DistDA_IO,
+        ArchModel::DistDA_F};
+    bench::Sweep sweep(models, opts);
+
+    std::printf("== Figure 9: dynamic access distribution "
+                "(share of bytes) ==\n");
+    for (ArchModel m : models) {
+        std::printf("\n-- %s --\n", archModelName(m));
+        std::printf("%-14s%10s%10s%10s\n", "benchmark", "intra", "D-A",
+                    "A-A");
+        for (const std::string &w : sweep.workloads()) {
+            const auto &r = sweep.at(w, m);
+            const double total =
+                r.intraBytes + r.daBytes + r.aaBytes;
+            if (total <= 0.0)
+                continue;
+            std::printf("%-14s%9.1f%%%9.1f%%%9.1f%%\n", w.c_str(),
+                        100.0 * r.intraBytes / total,
+                        100.0 * r.daBytes / total,
+                        100.0 * r.aaBytes / total);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 10 reproduction: bytes transferred through the NoC, broken
+ * into host-initiated control (ctrl) and data (data) and
+ * inter-accelerator control (acc_ctrl) and data (acc_data), normalized
+ * to the OoO total. Sub-computation partitioning moves computation to
+ * the data, cutting acc_ctrl/acc_data in Dist-DA vs Mono-DA.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace distda;
+using driver::ArchModel;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    const auto models = driver::headlineModels();
+    bench::Sweep sweep(models, opts);
+
+    std::printf("== Figure 10: NoC traffic breakdown "
+                "(bytes, normalized to OoO total) ==\n");
+    for (const std::string &w : sweep.workloads()) {
+        std::printf("\n-- %s --\n", w.c_str());
+        std::printf("%-12s%10s%10s%10s%10s%10s\n", "config", "ctrl",
+                    "data", "acc_ctrl", "acc_data", "total");
+        const double base =
+            std::max(sweep.at(w, ArchModel::OoO).nocTotalBytes(), 1.0);
+        for (ArchModel m : models) {
+            const auto &r = sweep.at(w, m);
+            std::printf("%-12s%10.3f%10.3f%10.3f%10.3f%10.3f\n",
+                        archModelName(m), r.nocCtrlBytes / base,
+                        r.nocDataBytes / base, r.nocAccCtrlBytes / base,
+                        r.nocAccDataBytes / base,
+                        r.nocTotalBytes() / base);
+        }
+    }
+
+    std::printf("\n== Geomean NoC bytes normalized to OoO ==\n");
+    bench::printModelHeader(models, "metric");
+    std::map<ArchModel, std::vector<double>> totals;
+    for (const std::string &w : sweep.workloads()) {
+        const double base =
+            std::max(sweep.at(w, ArchModel::OoO).nocTotalBytes(), 1.0);
+        for (ArchModel m : models)
+            totals[m].push_back(
+                std::max(sweep.at(w, m).nocTotalBytes(), 1.0) / base);
+    }
+    std::vector<double> gm;
+    for (ArchModel m : models)
+        gm.push_back(driver::geomean(totals[m]));
+    bench::printRow("noc_total", gm);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 12 reproduction.
+ * (a) Control-intensive offload case studies: spmv and nw under
+ *     Dist-DA-B (automated, per-row), Dist-DA-BN (user blocked loop
+ *     nest, Fig 5a) and Dist-DA-BNS (user fill/drain schedule,
+ *     Fig 5b), normalized to OoO. Paper spmv: 0.44x / 1.22x / 1.95x.
+ * (b) Multithreaded pathfinder and bfs at 1/2/4/8 threads.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/casestudy/case_spmv.hh"
+#include "src/casestudy/multithread.hh"
+
+using namespace distda;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    setInformEnabled(false);
+
+    std::printf("== Figure 12a: control-intensive offloads "
+                "(speedup vs OoO) ==\n");
+    for (auto runner : {&casestudy::runSpmvCaseStudy,
+                        &casestudy::runNwCaseStudy}) {
+        auto results = runner(opts.scale);
+        const double base = results.front().timeNs;
+        const char *wname =
+            (runner == &casestudy::runSpmvCaseStudy) ? "spmv" : "nw";
+        for (const auto &r : results) {
+            std::printf("%-5s %-12s %8.3fx%s%s\n", wname,
+                        r.config.c_str(), base / r.timeNs,
+                        r.validated ? "" : "  [VALIDATION FAILED]",
+                        r.config == "Dist-DA-B" &&
+                                std::string(wname) == "spmv"
+                            ? "   (paper: 0.44x)"
+                            : (r.config == "Dist-DA-BN" &&
+                                       std::string(wname) == "spmv"
+                                   ? "   (paper: 1.22x)"
+                                   : (r.config == "Dist-DA-BNS" &&
+                                              std::string(wname) ==
+                                                  "spmv"
+                                          ? "   (paper: 1.95x)"
+                                          : "")));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("== Figure 12b: multithreading (speedup vs 1-thread "
+                "OoO) ==\n");
+    auto mt = casestudy::runMultithreadCaseStudy(opts.scale);
+    std::printf("%-5s %-12s %8s %8s %8s %8s\n", "bench", "config",
+                "T=1", "T=2", "T=4", "T=8");
+    for (std::size_t i = 0; i < mt.size(); i += 4) {
+        std::printf("%-5s %-12s %8.3f %8.3f %8.3f %8.3f\n",
+                    mt[i].workload.c_str(), mt[i].config.c_str(),
+                    mt[i].speedupVsOoO1, mt[i + 1].speedupVsOoO1,
+                    mt[i + 2].speedupVsOoO1, mt[i + 3].speedupVsOoO1);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 13 reproduction: accelerator clock sensitivity. Dist-DA-IO
+ * clocked at 1, 2 and 3 GHz; speedup rises for most benchmarks while
+ * IPC drops for the access-dominated ones (seidel-2d, with its higher
+ * arithmetic share, degrades least) — the paper's argument that
+ * distributed accelerator-level parallelism beats clock scaling.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace distda;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    setInformEnabled(false);
+    const double clocks[] = {1.0, 2.0, 3.0};
+
+    std::map<std::pair<std::string, int>, driver::Metrics> results;
+    for (const std::string &w : workloads::workloadNames()) {
+        for (int c = 0; c < 3; ++c) {
+            driver::RunConfig cfg;
+            cfg.model = driver::ArchModel::DistDA_IO;
+            cfg.accelGHz = clocks[c];
+            results[{w, c}] = driver::runWorkload(w, cfg, opts);
+        }
+    }
+
+    std::printf("== Figure 13: Dist-DA-IO clock sweep, normalized to "
+                "1GHz ==\n");
+    std::printf("%-14s%10s%10s%10s%12s%12s\n", "benchmark", "spd@2G",
+                "spd@3G", "ipc@1G", "ipc@2G", "ipc@3G");
+    for (const std::string &w : workloads::workloadNames()) {
+        const auto &r1 = results[{w, 0}];
+        const auto &r2 = results[{w, 1}];
+        const auto &r3 = results[{w, 2}];
+        // IPC against the accelerator clock: insts / (time * GHz).
+        auto ipc_at = [](const driver::Metrics &m, double ghz) {
+            return m.totalInsts() / (m.timeNs * ghz);
+        };
+        std::printf("%-14s%10.3f%10.3f%10.3f%12.3f%12.3f\n", w.c_str(),
+                    r1.timeNs / r2.timeNs, r1.timeNs / r3.timeNs,
+                    ipc_at(r1, 1.0) / ipc_at(r1, 1.0),
+                    ipc_at(r2, 2.0) / ipc_at(r1, 1.0),
+                    ipc_at(r3, 3.0) / ipc_at(r1, 1.0));
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 14 reproduction: software optimizations on the Dist-DA model,
+ * normalized to Dist-DA-IO.
+ *  - Dist-DA-IO+SW: 4-issue in-order cores with compiler-inserted
+ *    software prefetches (helps indirect-access benchmarks, most
+ *    prominently pca and pr);
+ *  - Dist-DA-F+A: data-structure allocation customized for
+ *    intra-cluster locality (minor gains — innermost-loop offloads
+ *    already have intra-cluster locality most of the time).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace distda;
+using driver::ArchModel;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    const std::vector<ArchModel> models = {
+        ArchModel::DistDA_IO, ArchModel::DistDA_IO_SW,
+        ArchModel::DistDA_F, ArchModel::DistDA_F_A};
+    bench::Sweep sweep(models, opts);
+
+    std::printf("== Figure 14: software optimizations "
+                "(normalized to Dist-DA-IO / Dist-DA-F) ==\n");
+    std::printf("%-14s%14s%14s%14s%14s\n", "benchmark", "+SW spd",
+                "+SW eff", "+A spd", "+A eff");
+    std::vector<double> sw_s, sw_e, a_s, a_e;
+    for (const std::string &w : sweep.workloads()) {
+        const auto &io = sweep.at(w, ArchModel::DistDA_IO);
+        const auto &sw = sweep.at(w, ArchModel::DistDA_IO_SW);
+        const auto &f = sweep.at(w, ArchModel::DistDA_F);
+        const auto &fa = sweep.at(w, ArchModel::DistDA_F_A);
+        const double s1 = io.timeNs / sw.timeNs;
+        const double e1 = io.totalEnergyPj / sw.totalEnergyPj;
+        const double s2 = f.timeNs / fa.timeNs;
+        const double e2 = f.totalEnergyPj / fa.totalEnergyPj;
+        std::printf("%-14s%14.3f%14.3f%14.3f%14.3f\n", w.c_str(), s1,
+                    e1, s2, e2);
+        sw_s.push_back(s1);
+        sw_e.push_back(e1);
+        a_s.push_back(s2);
+        a_e.push_back(e2);
+    }
+    std::printf("%-14s%14.3f%14.3f%14.3f%14.3f\n", "geomean",
+                driver::geomean(sw_s), driver::geomean(sw_e),
+                driver::geomean(a_s), driver::geomean(a_e));
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md calls out, on the
+ * Dist-DA-F configuration (geomean over the suite, normalized to the
+ * full design):
+ *  - multi-access combining off (Fig 2d): followers refetch their own
+ *    windows;
+ *  - buffer retention off (§V-B): no reuse across outer-loop
+ *    invocations;
+ *  - buffer capacity swept 1KB / 4KB / 16KB per cluster;
+ *  - channel decoupling depth swept 4 / 64 elements.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace distda;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    driver::RunConfig cfg;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    setInformEnabled(false);
+
+    driver::RunConfig base;
+    base.model = driver::ArchModel::DistDA_F;
+
+    std::vector<Variant> variants;
+    variants.push_back({"full design", base});
+    {
+        auto c = base;
+        c.disableCombining = true;
+        variants.push_back({"no combining", c});
+    }
+    {
+        auto c = base;
+        c.disableRetention = true;
+        variants.push_back({"no retention", c});
+    }
+    {
+        auto c = base;
+        c.bufferBytesOverride = 1024;
+        variants.push_back({"1KB buffers", c});
+    }
+    {
+        auto c = base;
+        c.bufferBytesOverride = 16 * 1024;
+        variants.push_back({"16KB buffers", c});
+    }
+    {
+        auto c = base;
+        c.channelCapacityOverride = 4;
+        variants.push_back({"4-deep channels", c});
+    }
+
+    std::printf("== Ablation: Dist-DA-F design choices "
+                "(geomean, normalized to full design) ==\n");
+    std::printf("%-18s%12s%12s%14s\n", "variant", "speed", "energy",
+                "D-A bytes");
+
+    std::vector<double> base_time, base_energy, base_da;
+    for (const Variant &v : variants) {
+        std::vector<double> rt, re, rd;
+        std::size_t wi = 0;
+        for (const std::string &w : workloads::workloadNames()) {
+            const auto m = driver::runWorkload(w, v.cfg, opts);
+            if (v.name == std::string("full design")) {
+                base_time.push_back(m.timeNs);
+                base_energy.push_back(m.totalEnergyPj);
+                base_da.push_back(std::max(m.daBytes, 1.0));
+            }
+            rt.push_back(base_time[wi] / m.timeNs);
+            re.push_back(base_energy[wi] / m.totalEnergyPj);
+            rd.push_back(std::max(m.daBytes, 1.0) / base_da[wi]);
+            ++wi;
+        }
+        std::printf("%-18s%12.3f%12.3f%14.3f\n", v.name,
+                    driver::geomean(rt), driver::geomean(re),
+                    driver::geomean(rd));
+    }
+    return 0;
+}

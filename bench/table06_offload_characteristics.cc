@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table VI reproduction: offload characteristics of each benchmark
+ * under Dist-DA — dynamic code coverage (%cc), data coverage (%dc),
+ * MMIO initialization overhead (%init), average buffers per partition
+ * (#buf), maximum static instructions and DFG dimensions, and the
+ * in-order microcode size in bytes (8B per instruction).
+ */
+
+#include "bench/bench_common.hh"
+#include "src/driver/system.hh"
+
+using namespace distda;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    setInformEnabled(false);
+
+    std::printf("== Table VI: offload characteristics (Dist-DA-IO) "
+                "==\n");
+    std::printf("%-6s%8s%8s%8s%7s%8s%10s%10s%8s\n", "bench", "%cc",
+                "%dc", "%init", "#buf", "#parts", "#insts", "DFGdim",
+                "insts(B)");
+
+    for (const std::string &w : workloads::workloadNames()) {
+        driver::RunConfig cfg;
+        cfg.model = driver::ArchModel::DistDA_IO;
+        const driver::Metrics m = driver::runWorkload(w, cfg, opts);
+
+        // Static characteristics from the compiled plans.
+        auto wl = workloads::makeWorkload(w, opts.scale);
+        driver::SystemParams sp;
+        sp.arenaBytes = wl->arenaBytes();
+        driver::System sys(sp);
+        wl->setup(sys);
+        compiler::OffloadCharacteristics agg;
+        double buf_sum = 0.0;
+        int buf_count = 0;
+        for (const compiler::Kernel *k : wl->kernels()) {
+            auto plan = compiler::compileKernel(*k);
+            const auto &c = plan.characteristics;
+            agg.maxInsts = std::max(agg.maxInsts, c.maxInsts);
+            agg.maxInstBytes =
+                std::max(agg.maxInstBytes, c.maxInstBytes);
+            agg.dfgLevels = std::max(agg.dfgLevels, c.dfgLevels);
+            agg.dfgWidth = std::max(agg.dfgWidth, c.dfgWidth);
+            agg.numPartitions =
+                std::max(agg.numPartitions, c.numPartitions);
+            buf_sum += c.avgBuffers * c.numPartitions;
+            buf_count += c.numPartitions;
+        }
+        const double avg_buf =
+            buf_count > 0 ? buf_sum / buf_count : 0.0;
+
+        std::printf("%-6s%8.1f%8.2f%8.2f%7.1f%8d%10d%7dx%-3d%8d\n",
+                    w.c_str(), m.codeCoverage(), m.dataCoverage(),
+                    m.initOverhead(), avg_buf, agg.numPartitions,
+                    agg.maxInsts, agg.dfgWidth, agg.dfgLevels,
+                    agg.maxInstBytes);
+    }
+    std::printf("\n(paper ranges: %%cc 74-99, %%dc 60-99.98, %%init "
+                "0-1.73, #buf 0-3, #insts 4-55, insts(B) 32-440)\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * §VI-E area reproduction: accelerator area overheads at 32nm.
+ * Paper: in-order-core option 1.9% of one L3 cluster (0.3% of chip);
+ * 5x5 CGRA with buffers and ACP 2.9% per cluster (0.48% of chip).
+ */
+
+#include <cstdio>
+
+#include "src/cgra/cgra.hh"
+
+using namespace distda;
+
+int
+main()
+{
+    const cgra::AreaModel area;
+    const cgra::CgraParams small;
+    const cgra::CgraParams large = cgra::CgraParams::large();
+
+    const double io = area.ioAcceleratorMm2();
+    const double f5 = area.cgraAcceleratorMm2(small);
+    const double f8 = area.cgraAcceleratorMm2(large);
+
+    std::printf("== Accelerator area overheads (32nm) ==\n");
+    std::printf("%-28s%10s%12s%12s\n", "accelerator", "mm^2",
+                "% cluster", "% chip");
+    std::printf("%-28s%10.4f%11.2f%%%11.2f%%   (paper 1.9%% / 0.3%%)\n",
+                "in-order core + buf + ACP", io,
+                100.0 * area.clusterFraction(io),
+                100.0 * area.chipFraction(io));
+    std::printf("%-28s%10.4f%11.2f%%%11.2f%%   (paper 2.9%% / 0.48%%)\n",
+                "5x5 CGRA + buf + ACP", f5,
+                100.0 * area.clusterFraction(f5),
+                100.0 * area.chipFraction(f5));
+    std::printf("%-28s%10.4f%11.2f%%%11.2f%%\n",
+                "8x8 CGRA + buf + ACP (Mono)", f8,
+                100.0 * area.clusterFraction(f8),
+                100.0 * area.chipFraction(f8, 1));
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Graph analytics example: degree-weighted neighbor averaging over a
+ * synthetic power-law graph, exercising the indirect (cp_read /
+ * cp_write) side of the interface — the access pattern class where
+ * decentralized near-data execution pays off most (§VI-C).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/driver/context.hh"
+#include "src/driver/system.hh"
+#include "src/sim/rng.hh"
+
+using namespace distda;
+using driver::ExecContext;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const std::int64_t nodes = 1 << 13;
+    const std::int64_t edges = nodes * 8;
+
+    // Synthetic edge list with skewed endpoints.
+    sim::Rng rng(77);
+    std::vector<std::int64_t> src(static_cast<std::size_t>(edges));
+    std::vector<std::int64_t> dst(static_cast<std::size_t>(edges));
+    for (std::int64_t e = 0; e < edges; ++e) {
+        src[static_cast<std::size_t>(e)] = static_cast<std::int64_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(nodes)));
+        dst[static_cast<std::size_t>(e)] = static_cast<std::int64_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(nodes)) / 2);
+    }
+
+    // Kernel: acc[dst[e]] += w[src[e]] over all edges (edge-centric
+    // scatter with two indirect reads and one indirect RMW).
+    compiler::KernelBuilder kb("scatter_avg");
+    const int o_src = kb.object("src", static_cast<std::uint64_t>(edges),
+                                8, false);
+    const int o_dst = kb.object("dst", static_cast<std::uint64_t>(edges),
+                                8, false);
+    const int o_w =
+        kb.object("w", static_cast<std::uint64_t>(nodes), 8, true);
+    const int o_acc =
+        kb.object("acc", static_cast<std::uint64_t>(nodes), 8, true);
+    kb.loopStatic(edges);
+    auto s = kb.load(o_src, kb.affine(0, 1));
+    auto d = kb.load(o_dst, kb.affine(0, 1));
+    auto wv = kb.loadIdx(o_w, s);
+    auto cur = kb.loadIdx(o_acc, d);
+    kb.storeIdx(o_acc, d, kb.fadd(cur, wv));
+    compiler::Kernel kernel = kb.build();
+
+    std::printf("edge-centric scatter over %lld edges\n",
+                static_cast<long long>(edges));
+    std::printf("%-12s %12s %14s %12s %12s\n", "config", "time (us)",
+                "energy (nJ)", "cache-acc", "%indirect-DA");
+    for (driver::ArchModel m :
+         {driver::ArchModel::OoO, driver::ArchModel::MonoDA_IO,
+          driver::ArchModel::DistDA_IO, driver::ArchModel::DistDA_F}) {
+        driver::SystemParams sp;
+        sp.arenaBytes = 16 << 20;
+        driver::System sys(sp);
+        auto a_src =
+            sys.alloc("src", static_cast<std::uint64_t>(edges), 8,
+                      false);
+        auto a_dst =
+            sys.alloc("dst", static_cast<std::uint64_t>(edges), 8,
+                      false);
+        auto a_w = sys.alloc("w", static_cast<std::uint64_t>(nodes), 8,
+                             true);
+        auto a_acc = sys.alloc("acc",
+                               static_cast<std::uint64_t>(nodes), 8,
+                               true);
+        for (std::int64_t e = 0; e < edges; ++e) {
+            a_src.setI(static_cast<std::uint64_t>(e),
+                       src[static_cast<std::size_t>(e)]);
+            a_dst.setI(static_cast<std::uint64_t>(e),
+                       dst[static_cast<std::size_t>(e)]);
+        }
+        for (std::int64_t v = 0; v < nodes; ++v) {
+            a_w.setF(static_cast<std::uint64_t>(v),
+                     1.0 / (1.0 + static_cast<double>(v % 13)));
+            a_acc.setF(static_cast<std::uint64_t>(v), 0.0);
+        }
+
+        driver::RunConfig cfg;
+        cfg.model = m;
+        ExecContext ctx(sys, cfg);
+        ctx.invoke(kernel, {a_src, a_dst, a_w, a_acc}, {});
+        const auto metrics = ctx.finish();
+        const double da_share =
+            metrics.daBytes > 0.0
+                ? 100.0 * metrics.daBytes /
+                      (metrics.intraBytes + metrics.daBytes +
+                       metrics.aaBytes)
+                : 0.0;
+        std::printf("%-12s %12.2f %14.1f %12.0f %11.1f%%\n",
+                    archModelName(m), metrics.timeNs / 1000.0,
+                    metrics.totalEnergyPj / 1000.0,
+                    metrics.cacheAccesses, da_share);
+    }
+    return 0;
+}

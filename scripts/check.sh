@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Full verification: configure, build, test, and regenerate every
+# table/figure of the paper. Mirrors what CI would run.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] && echo "===== $b" && "$b" "$@"
+done

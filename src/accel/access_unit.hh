@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Access units (Fig 2c): the SRAM-buffered, FSM-driven units that
+ * decouple distributed partitions from the memory system and from each
+ * other.
+ *
+ * A StreamUnit implements the hardware support for one-dimensional
+ * strided patterns as a sliding window of chunks: the fill FSM
+ * prefetches ahead of the consuming accelerator (bounded by buffer
+ * capacity), dirty chunks drain on eviction or flush, and multiple
+ * taps at constant access distance — loads and stores alike — share
+ * one buffer (multi-access combining, Fig 2d). Windows survive across
+ * invocations so reuse across outer-loop iterations is captured
+ * (§V-B). A RandomUnit implements the cp_read/cp_write random-access
+ * path through the translation block and the cluster's ACP.
+ *
+ * Units carry two cluster coordinates: where the unit sits (the data's
+ * home cluster in decentralized-access configurations) and where its
+ * consumer computes. When they differ — the Mono-DA configurations —
+ * elements are forwarded over the NoC as inter-accelerator traffic.
+ */
+
+#ifndef DISTDA_ACCEL_ACCESS_UNIT_HH
+#define DISTDA_ACCEL_ACCESS_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/compiler/dfg.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/sim/ticks.hh"
+
+namespace distda::accel
+{
+
+/**
+ * Memory-side port of an access unit: (addr, bytes, write, now) ->
+ * latency. Normally the cluster's ACP into the local L3; the Mono-CA
+ * configuration routes it through the accelerator's 8KB private cache.
+ */
+using MemPort = std::function<sim::Tick(mem::Addr, std::uint32_t, bool,
+                                        sim::Tick)>;
+
+/** Figure 9's dynamic-access-distribution counters, in bytes. */
+struct AccessStats
+{
+    double intraBytes = 0.0; ///< accelerator-local buffer traffic
+    double daBytes = 0.0;    ///< accelerator <-> cache hierarchy
+    double aaBytes = 0.0;    ///< accelerator <-> accelerator
+    double bufferAccesses = 0.0;
+
+    double total() const { return intraBytes + daBytes + aaBytes; }
+};
+
+/** Configuration of one stream buffer. */
+struct StreamParams
+{
+    mem::Addr base = 0;           ///< address of element 0 (lead tap)
+    std::int64_t strideBytes = 8; ///< per-iteration advance
+    std::uint32_t elemBytes = 8;
+    bool hasLoads = true;
+    bool hasStores = false;
+    int unitCluster = 0;          ///< where the buffer + FSM live
+    int consumerCluster = 0;      ///< where the consuming actor runs
+    std::uint32_t capacityBytes = 4096;
+    std::uint64_t totalElems = 0; ///< trip count of the stream
+    sim::Tick cycleTick = 500;    ///< one accelerator cycle in ticks
+};
+
+/**
+ * One strided stream window with fill/drain FSM and multi-tap reuse.
+ * Element index k (lead-tap space) maps to base + k * strideBytes; a
+ * tap at distance d touches element k - d at iteration k.
+ */
+class StreamUnit
+{
+  public:
+    StreamUnit(const StreamParams &params, MemPort port, noc::Mesh *mesh,
+               AccessStats *stats);
+
+    const StreamParams &params() const { return _params; }
+
+    /**
+     * Read element for iteration @p k through a tap @p tap_distance
+     * behind the lead tap. Returns the tick the value reaches the
+     * consumer (>= @p consumer_now).
+     */
+    sim::Tick readAt(std::int64_t k, sim::Tick consumer_now,
+                     std::int64_t tap_distance);
+
+    /** Write through a tap; marks the chunk dirty for the drain FSM. */
+    sim::Tick writeAt(std::int64_t k, sim::Tick now,
+                      std::int64_t tap_distance);
+
+    /** Drain dirty chunks (window stays resident); returns completion. */
+    sim::Tick flush(sim::Tick now);
+
+    /**
+     * Rewind for a new pass over the same address range (reuse across
+     * outer-loop iterations). When the previous pass fit entirely in
+     * the buffer the window is retained and rereads are buffer hits;
+     * otherwise the window is discarded (dirty chunks drain).
+     */
+    void rewind(sim::Tick now);
+
+    /** Elements fetched per memory access (spatial locality). */
+    std::int64_t elemsPerFetch() const { return _elemsPerFetch; }
+
+    /** Chunks currently resident. */
+    std::int64_t residentChunks() const { return _hiChunk - _loChunk; }
+
+  private:
+    struct Chunk
+    {
+        sim::Tick ready = 0;
+        bool dirty = false;
+        bool fetched = false;
+    };
+
+    std::int64_t
+    chunkOf(std::int64_t k) const
+    {
+        return k >= 0 ? k / _elemsPerFetch
+                      : (k - _elemsPerFetch + 1) / _elemsPerFetch;
+    }
+
+    mem::Addr
+    chunkAddr(std::int64_t c) const
+    {
+        return static_cast<mem::Addr>(
+            static_cast<std::int64_t>(_params.base) +
+            c * _elemsPerFetch * _params.strideBytes);
+    }
+
+    /** Make chunk @p c resident (fetching when loads need data). */
+    void ensure(std::int64_t c, sim::Tick now, bool fetch);
+
+    /** Extend the window one chunk at @p c (front or back). */
+    void grow(std::int64_t c, sim::Tick now, bool fetch);
+
+    /** Evict the oldest chunk, draining when dirty. */
+    void evictFront(sim::Tick now);
+
+    Chunk &chunk(std::int64_t c)
+    {
+        return _window[static_cast<std::size_t>(c - _loChunk)];
+    }
+
+    StreamParams _params;
+    MemPort _port;
+    noc::Mesh *_mesh;
+    AccessStats *_stats;
+
+    std::int64_t _elemsPerFetch;
+    std::int64_t _capacityChunks;
+    std::uint32_t _fetchBytes;
+
+    std::deque<Chunk> _window;
+    std::int64_t _loChunk = 0;
+    std::int64_t _hiChunk = 0;
+    std::int64_t _leadK = 0;
+    std::int64_t _maxTapDistance = 0;
+    sim::Tick _fsmNow = 0;
+    std::deque<sim::Tick> _drainDone;
+};
+
+/** The random-access (cp_read / cp_write) path of one partition. */
+class RandomUnit
+{
+  public:
+    RandomUnit(int cluster, MemPort port, AccessStats *stats,
+               sim::Tick cycle_tick);
+
+    /**
+     * Access @p elem_bytes at @p addr. @p hide_ticks models how far
+     * ahead the access could be issued: indirect-stream patterns
+     * (B[A[i]]) run ahead of the consumer, and the +SW configuration's
+     * software prefetches extend the window further; pointer-chasing
+     * recurrences pass zero.
+     */
+    sim::Tick access(mem::Addr addr, std::uint32_t elem_bytes, bool write,
+                     sim::Tick now, sim::Tick hide_ticks);
+
+  private:
+    int _cluster;
+    MemPort _port;
+    AccessStats *_stats;
+    sim::Tick _cycleTick;
+};
+
+} // namespace distda::accel
+
+#endif // DISTDA_ACCEL_ACCESS_UNIT_HH

@@ -1,0 +1,32 @@
+#include "src/casestudy/case_common.hh"
+
+#include <algorithm>
+
+namespace distda::casestudy
+{
+
+sim::Tick
+runActors(const std::vector<CaseActor *> &actors)
+{
+    constexpr std::int64_t budget = 1024;
+    bool all_done = false;
+    while (!all_done) {
+        all_done = true;
+        double progress = 0.0;
+        for (CaseActor *actor : actors) {
+            const double before = actor->insts;
+            const engine::ActorStatus st = actor->run(budget);
+            progress += actor->insts - before;
+            if (st != engine::ActorStatus::Finished)
+                all_done = false;
+        }
+        if (!all_done && progress == 0.0)
+            panic("case-study actor deadlock");
+    }
+    sim::Tick end = 0;
+    for (CaseActor *actor : actors)
+        end = std::max(end, actor->now);
+    return end;
+}
+
+} // namespace distda::casestudy

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Infrastructure for the §VI-D case studies: hand-scheduled actors
+ * that use the Table II interface directly — the "user annotated"
+ * rows of Table V. Unlike compiler-generated partitions, these actors
+ * have their own control (nested loops, data-dependent trip counts)
+ * and explicit fill/drain schedules, which is exactly what the
+ * Dist-DA-BN and Dist-DA-BNS configurations add.
+ */
+
+#ifndef DISTDA_CASESTUDY_CASE_COMMON_HH
+#define DISTDA_CASESTUDY_CASE_COMMON_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/actor.hh"
+#include "src/engine/channel.hh"
+#include "src/sim/logging.hh"
+
+namespace distda::casestudy
+{
+
+/** A hand-written decoupled actor (peer of PartitionActor). */
+class CaseActor
+{
+  public:
+    virtual ~CaseActor() = default;
+
+    /**
+     * Advance up to @p budget work items.
+     * Blocked means a channel stalled this actor; the scheduler
+     * re-runs it after its peers progress.
+     */
+    virtual engine::ActorStatus run(std::int64_t budget) = 0;
+
+    sim::Tick now = 0;
+    double insts = 0.0;
+
+  protected:
+    /** Try to consume from @p ch into @p out; false when blocked. */
+    bool
+    tryConsume(engine::Channel &ch, compiler::Word &out)
+    {
+        if (ch.empty())
+            return false;
+        out = ch.front().value;
+        now = std::max(now, ch.front().readyAt);
+        ch.pop();
+        insts += 1.0;
+        return true;
+    }
+
+    /** Try to produce into @p ch; false when backpressured. */
+    bool
+    tryProduce(engine::Channel &ch, compiler::Word v, noc::Mesh &mesh,
+               sim::Tick transfer_cost_now)
+    {
+        if (ch.full())
+            return false;
+        sim::Tick arrive = now;
+        if (ch.srcCluster() != ch.dstCluster()) {
+            auto xfer = mesh.transfer(ch.srcCluster(), ch.dstCluster(),
+                                      ch.elemBytes(),
+                                      ch.isControl()
+                                          ? noc::TrafficClass::AccCtrl
+                                          : noc::TrafficClass::AccData,
+                                      transfer_cost_now);
+            arrive = now + xfer.latency;
+        }
+        ch.push(v, arrive);
+        insts += 1.0;
+        return true;
+    }
+};
+
+/** Round-robin the actors until all finish; panics on deadlock. */
+sim::Tick runActors(const std::vector<CaseActor *> &actors);
+
+} // namespace distda::casestudy
+
+#endif // DISTDA_CASESTUDY_CASE_COMMON_HH

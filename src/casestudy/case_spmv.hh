@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The §VI-D spmv case study (Fig 12a): sparse matrix-vector multiply
+ * over column tiles in CSR form, evaluated as
+ *  - OoO          — host baseline;
+ *  - Dist-DA-B    — compiler-automated offload of the (short) innermost
+ *                   loop, one invocation per tile row (the paper's
+ *                   0.44x: offload overhead is not amortized);
+ *  - Dist-DA-BN   — user-identified blocked loop nest: a bounds
+ *                   partition produces inner-loop bounds (cp_produce)
+ *                   and the compute partition pipelines rows
+ *                   (Fig 5a), removing per-row host orchestration;
+ *  - Dist-DA-BNS  — user schedule on top: x-vector tile blocks are
+ *                   staged with cp_fill_ra so indirect gathers become
+ *                   local buffer hits, and results drain in bulk
+ *                   (cp_drain_ra).
+ */
+
+#ifndef DISTDA_CASESTUDY_CASE_SPMV_HH
+#define DISTDA_CASESTUDY_CASE_SPMV_HH
+
+#include <string>
+#include <vector>
+
+namespace distda::casestudy
+{
+
+/** One configuration's outcome. */
+struct CaseResult
+{
+    std::string config;
+    double timeNs = 0.0;
+    bool validated = false;
+};
+
+/**
+ * Run all four spmv configurations on one deterministic tiled dataset.
+ * @p scale sizes the problem (1.0 = tiles of 512x512, 16 tiles;
+ * --paper raises the tile dimension toward the paper's 4096).
+ */
+std::vector<CaseResult> runSpmvCaseStudy(double scale);
+
+/** The nw (§VI-D) control-intensive case study: B / BN / BNS. */
+std::vector<CaseResult> runNwCaseStudy(double scale);
+
+} // namespace distda::casestudy
+
+#endif // DISTDA_CASESTUDY_CASE_SPMV_HH

@@ -1,0 +1,88 @@
+#include "src/casestudy/multithread.hh"
+
+#include <cmath>
+#include <map>
+
+#include "src/driver/runner.hh"
+
+namespace distda::casestudy
+{
+
+namespace
+{
+
+struct WorkloadModel
+{
+    const char *name;
+    double parallelFraction;  ///< dynamic share shardable over threads
+    double specLossPenalty;   ///< accel-only cost of skipping stream
+                              ///< specialization under MT (§VI-D)
+    double barriersPerRun;    ///< synchronization points
+};
+
+} // namespace
+
+std::vector<MtResult>
+runMultithreadCaseStudy(double scale)
+{
+    const WorkloadModel models[] = {
+        // pathfinder synchronizes per DP row and loses the
+        // stream-specialization step when iterations are scheduled
+        // individually to threads.
+        {"pf", 0.96, 1.45, 191.0},
+        // bfs's outer-loop parallelism pipelines inner iterations;
+        // barriers once per level.
+        {"bfs", 0.92, 1.05, 14.0},
+    };
+    const driver::ArchModel configs[] = {
+        driver::ArchModel::OoO,
+        driver::ArchModel::DistDA_IO,
+        driver::ArchModel::DistDA_F,
+    };
+    const int threads[] = {1, 2, 4, 8};
+    const double barrier_ns = 60.0; // cross-core sync via LLC
+
+    std::vector<MtResult> out;
+    driver::RunOptions opts;
+    opts.scale = scale;
+
+    for (const WorkloadModel &wm : models) {
+        std::map<driver::ArchModel, double> base;
+        double ooo1 = 0.0;
+        for (driver::ArchModel cfg : configs) {
+            driver::RunConfig rc;
+            rc.model = cfg;
+            base[cfg] = driver::runWorkload(wm.name, rc, opts).timeNs;
+            if (cfg == driver::ArchModel::OoO)
+                ooo1 = base[cfg];
+        }
+        for (driver::ArchModel cfg : configs) {
+            const bool accel = cfg != driver::ArchModel::OoO;
+            for (int t : threads) {
+                const double serial =
+                    base[cfg] * (1.0 - wm.parallelFraction);
+                double parallel = base[cfg] * wm.parallelFraction;
+                if (accel && t > 1)
+                    parallel *= wm.specLossPenalty;
+                const double barriers =
+                    wm.barriersPerRun * std::max(scale, 0.05);
+                const double sync =
+                    t > 1 ? barriers * barrier_ns *
+                                std::log2(static_cast<double>(t))
+                          : 0.0;
+                const double time =
+                    serial + parallel / static_cast<double>(t) + sync;
+                MtResult r;
+                r.workload = wm.name;
+                r.config = driver::archModelName(cfg);
+                r.threads = t;
+                r.timeNs = time;
+                r.speedupVsOoO1 = ooo1 / time;
+                out.push_back(r);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace distda::casestudy

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The multithreading case study (Fig 12b): pathfinder and BFS scaled
+ * over 1/2/4/8 threads. Threads shard the parallel inner iterations;
+ * per §VI-D the current framework schedules parallel iterations of a
+ * loop individually to threads, so the stream-based access
+ * specialization step is skipped under multithreading — which is why
+ * pathfinder (spatial-locality dominated) scales sub-linearly while
+ * BFS's outer-loop parallelism pipelines consistently.
+ *
+ * Threads are modeled by sharding the measured single-thread kernel
+ * time: t(T) = serial + parallel x penalty / T + barriers(T), with the
+ * specialization-loss penalty applied to accelerator configurations of
+ * pathfinder when T > 1.
+ */
+
+#ifndef DISTDA_CASESTUDY_MULTITHREAD_HH
+#define DISTDA_CASESTUDY_MULTITHREAD_HH
+
+#include <string>
+#include <vector>
+
+namespace distda::casestudy
+{
+
+/** One (workload, config, thread-count) outcome. */
+struct MtResult
+{
+    std::string workload;
+    std::string config;
+    int threads = 1;
+    double timeNs = 0.0;
+    double speedupVsOoO1 = 0.0;
+};
+
+/** Run the Fig 12b sweep (pathfinder and bfs; 1/2/4/8 threads). */
+std::vector<MtResult> runMultithreadCaseStudy(double scale);
+
+} // namespace distda::casestudy
+
+#endif // DISTDA_CASESTUDY_MULTITHREAD_HH

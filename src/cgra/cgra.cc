@@ -1,0 +1,242 @@
+#include "src/cgra/cgra.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "src/sim/logging.hh"
+
+namespace distda::cgra
+{
+
+using compiler::FuClass;
+using compiler::MicroInst;
+using compiler::MicroKind;
+using compiler::MicroProgram;
+
+CgraParams
+CgraParams::large()
+{
+    CgraParams p;
+    p.rows = 8;
+    p.cols = 8;
+    p.intFus = 38;
+    p.floatFus = 10;
+    p.complexFus = 10;
+    p.portFus = 6;
+    return p;
+}
+
+FuClass
+fuClassOfInst(const MicroInst &inst)
+{
+    switch (inst.kind) {
+      case MicroKind::Alu:
+        return compiler::fuClassOf(inst.op);
+      case MicroKind::LoadStream:
+      case MicroKind::StoreStream:
+      case MicroKind::LoadIdx:
+      case MicroKind::StoreIdx:
+        return FuClass::Mem;
+      case MicroKind::Consume:
+      case MicroKind::Produce:
+      case MicroKind::CarryWrite:
+        return FuClass::Ctrl;
+      default:
+        return FuClass::Int;
+    }
+}
+
+namespace
+{
+
+/** Per-class op counts of a program. */
+struct ClassCounts
+{
+    int intOps = 0, floatOps = 0, complexOps = 0, memOps = 0,
+        ctrlOps = 0;
+};
+
+ClassCounts
+countClasses(const MicroProgram &prog)
+{
+    ClassCounts c;
+    for (const MicroInst &inst : prog.insts) {
+        switch (fuClassOfInst(inst)) {
+          case FuClass::Int: ++c.intOps; break;
+          case FuClass::Float: ++c.floatOps; break;
+          case FuClass::Complex: ++c.complexOps; break;
+          case FuClass::Mem: ++c.memOps; break;
+          case FuClass::Ctrl: ++c.ctrlOps; break;
+        }
+    }
+    return c;
+}
+
+int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+CgraMapping
+mapProgram(const MicroProgram &prog, const CgraParams &fabric)
+{
+    CgraMapping m;
+    m.opsMapped = static_cast<int>(prog.insts.size());
+    if (prog.insts.empty())
+        return m;
+
+    const ClassCounts c = countClasses(prog);
+
+    // ResMII: the most contended FU class bounds the initiation rate.
+    // Ctrl ops share port tiles with memory ops.
+    m.resMii = 1;
+    if (c.intOps)
+        m.resMii = std::max(m.resMii,
+                            ceilDiv(c.intOps, std::max(fabric.intFus, 1)));
+    if (c.floatOps)
+        m.resMii = std::max(
+            m.resMii, ceilDiv(c.floatOps, std::max(fabric.floatFus, 1)));
+    if (c.complexOps)
+        m.resMii = std::max(
+            m.resMii,
+            ceilDiv(c.complexOps, std::max(fabric.complexFus, 1)));
+    if (c.memOps + c.ctrlOps) {
+        // Port tiles front double-pumped access-unit buffers: two
+        // buffer taps per port tile per fabric cycle.
+        m.resMii = std::max(
+            m.resMii, ceilDiv(c.memOps + c.ctrlOps,
+                              2 * std::max(fabric.portFus, 1)));
+    }
+
+    // RecMII: the longest register-dependence chain from a carry
+    // register read back to its CarryWrite must complete within II.
+    std::vector<int> depth(prog.insts.size(), 1);
+    std::vector<int> def_of(static_cast<std::size_t>(prog.numRegs), -1);
+    m.recMii = 1;
+    std::vector<bool> carry_reg(static_cast<std::size_t>(prog.numRegs),
+                                false);
+    for (const auto &cs : prog.carries)
+        carry_reg[cs.reg] = true;
+    for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+        const MicroInst &inst = prog.insts[i];
+        int in_depth = 0;
+        auto look = [&](std::uint16_t r) {
+            if (r == compiler::noReg)
+                return;
+            if (carry_reg[r]) {
+                in_depth = std::max(in_depth, 1);
+            } else if (def_of[r] >= 0) {
+                in_depth = std::max(
+                    in_depth, depth[static_cast<std::size_t>(def_of[r])]);
+            }
+        };
+        look(inst.a);
+        look(inst.b);
+        look(inst.c);
+        depth[i] = in_depth + 1;
+        if (inst.dst != compiler::noReg)
+            def_of[inst.dst] = static_cast<int>(i);
+        if (inst.kind == MicroKind::CarryWrite)
+            m.recMii = std::max(m.recMii, depth[i] - 1);
+    }
+
+    // Greedy spatial placement: ops take PEs in topological order;
+    // routing distance to the farthest input adds schedule depth.
+    const int tiles = fabric.tiles();
+    std::vector<std::pair<int, int>> pos(prog.insts.size());
+    std::vector<bool> used(static_cast<std::size_t>(tiles), false);
+    std::vector<int> sched(prog.insts.size(), 0);
+    int used_count = 0;
+    int depth_max = 0;
+    for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+        const MicroInst &inst = prog.insts[i];
+        // Inputs placed earlier define the preferred location.
+        int px = 0, py = 0, ninputs = 0;
+        int in_sched = 0;
+        auto look = [&](std::uint16_t r) {
+            if (r == compiler::noReg || def_of[r] < 0)
+                return;
+            const auto j = static_cast<std::size_t>(def_of[r]);
+            if (j >= i)
+                return;
+            px += pos[j].first;
+            py += pos[j].second;
+            ++ninputs;
+        };
+        // def_of currently reflects the whole program; rebuild lazily:
+        // approximate by using final def positions (static mapping).
+        look(inst.a);
+        look(inst.b);
+        look(inst.c);
+        const int want_x = ninputs ? px / ninputs : (fabric.cols / 2);
+        const int want_y = ninputs ? py / ninputs : (fabric.rows / 2);
+        // Nearest free tile (folding reuses tiles when all are busy).
+        int best = -1, best_d = 1 << 30;
+        for (int t = 0; t < tiles; ++t) {
+            if (used[static_cast<std::size_t>(t)])
+                continue;
+            const int tx = t % fabric.cols, ty = t / fabric.cols;
+            const int d = std::abs(tx - want_x) + std::abs(ty - want_y);
+            if (d < best_d) {
+                best_d = d;
+                best = t;
+            }
+        }
+        if (best < 0) {
+            // Fabric full: fold — reuse tile 0 and clear usage.
+            std::fill(used.begin(), used.end(), false);
+            best = 0;
+            best_d = 1;
+        }
+        used[static_cast<std::size_t>(best)] = true;
+        ++used_count;
+        pos[i] = {best % fabric.cols, best / fabric.cols};
+
+        auto look2 = [&](std::uint16_t r) {
+            if (r == compiler::noReg || def_of[r] < 0)
+                return;
+            const auto j = static_cast<std::size_t>(def_of[r]);
+            if (j >= i)
+                return;
+            const int route = std::abs(pos[j].first - pos[i].first) +
+                              std::abs(pos[j].second - pos[i].second);
+            in_sched = std::max(in_sched,
+                                sched[j] + 1 + std::max(route - 1, 0));
+        };
+        look2(inst.a);
+        look2(inst.b);
+        look2(inst.c);
+        sched[i] = in_sched + 1;
+        depth_max = std::max(depth_max, sched[i]);
+    }
+
+    m.tilesUsed = std::min(used_count, tiles);
+    m.folds = ceilDiv(m.opsMapped, tiles);
+    m.scheduleDepth = depth_max;
+    m.ii = std::max({m.resMii, m.recMii, 1}) * m.folds;
+    m.feasible = true;
+    return m;
+}
+
+double
+AreaModel::cgraAcceleratorMm2(const CgraParams &fabric) const
+{
+    const double fus = fabric.intFus * intFuMm2 +
+                       fabric.floatFus * floatFuMm2 +
+                       fabric.complexFus * complexFuMm2 +
+                       fabric.portFus * portFuMm2;
+    return fus + 4.0 * bufferPerKbMm2 + acpMm2;
+}
+
+double
+AreaModel::ioAcceleratorMm2() const
+{
+    return ioCoreMm2 + 4.0 * bufferPerKbMm2 + acpMm2;
+}
+
+} // namespace distda::cgra

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Statically-mapped CGRA fabric model and mapper (§VI-A, §VI-E).
+ *
+ * The paper provisions a 5x5 tile per L3 cluster for Dist-DA-F (four
+ * float ALUs, four complex ALUs, fifteen integer ALUs plus port tiles)
+ * and an 8x8 fabric for Mono-DA-F. Offload DFGs are mapped statically:
+ * each operation is pinned to a processing element; the initiation
+ * interval (II) follows from resource contention (ResMII), recurrences
+ * (RecMII) and routing; larger DFGs than the fabric fold over it,
+ * multiplying the II.
+ */
+
+#ifndef DISTDA_CGRA_CGRA_HH
+#define DISTDA_CGRA_CGRA_HH
+
+#include <cstdint>
+
+#include "src/compiler/microcode.hh"
+
+namespace distda::cgra
+{
+
+/** Fabric geometry and heterogeneous FU provisioning. */
+struct CgraParams
+{
+    int rows = 5;
+    int cols = 5;
+    int intFus = 15;
+    int floatFus = 4;
+    int complexFus = 4;
+    int portFus = 2;  ///< memory/channel port tiles
+    std::uint64_t clockHz = 1'000'000'000ULL;
+
+    int tiles() const { return rows * cols; }
+
+    /** The Mono-DA-F 8x8 provisioning. */
+    static CgraParams large();
+};
+
+/** Result of mapping one partition program onto a fabric. */
+struct CgraMapping
+{
+    bool feasible = true;
+    int ii = 1;            ///< cycles between iteration initiations
+    int scheduleDepth = 1; ///< pipeline fill depth in cycles
+    int opsMapped = 0;
+    int tilesUsed = 0;
+    int resMii = 1;
+    int recMii = 1;
+    int folds = 1;         ///< times the DFG folds over the fabric
+};
+
+/** FU class an individual microcode instruction needs. */
+compiler::FuClass fuClassOfInst(const compiler::MicroInst &inst);
+
+/** Statically map @p prog onto @p fabric. */
+CgraMapping mapProgram(const compiler::MicroProgram &prog,
+                       const CgraParams &fabric);
+
+/**
+ * Area model (mm^2 at 32nm), calibrated so that the paper's §VI-E
+ * results hold: a 5x5 CGRA tile with buffers and ACP is 2.9% of one
+ * L3 cluster (0.48% of the chip over 8 clusters) and the in-order-core
+ * accelerator option is 1.9% of a cluster (0.3% of the chip).
+ */
+struct AreaModel
+{
+    double l3ClusterMm2 = 3.40;   ///< 256KB bank group + router slice
+    double chipMm2 = 164.0;       ///< whole SoC
+    double intFuMm2 = 0.00225;
+    double floatFuMm2 = 0.00525;
+    double complexFuMm2 = 0.00680;
+    double portFuMm2 = 0.00150;
+    double bufferPerKbMm2 = 0.00240; ///< access-unit SRAM
+    double acpMm2 = 0.00310;
+    double ioCoreMm2 = 0.05150;   ///< 1-issue IO core, 2 FP + 2 complex
+
+    /** Area of one CGRA accelerator instance (fabric + 4KB buf + ACP). */
+    double cgraAcceleratorMm2(const CgraParams &fabric) const;
+
+    /** Area of one in-order-core accelerator instance. */
+    double ioAcceleratorMm2() const;
+
+    /** Fraction of one L3 cluster taken by @p accel_mm2. */
+    double clusterFraction(double accel_mm2) const
+    {
+        return accel_mm2 / l3ClusterMm2;
+    }
+
+    /** Fraction of the chip for one accelerator per cluster (x8). */
+    double chipFraction(double accel_mm2, int clusters = 8) const
+    {
+        return accel_mm2 * clusters / chipMm2;
+    }
+};
+
+} // namespace distda::cgra
+
+#endif // DISTDA_CGRA_CGRA_HH

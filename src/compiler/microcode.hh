@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 64-bit microcode executed by in-order accelerator cores and
+ * interpreted (with a static mapping) by the CGRA fabric. One
+ * instruction occupies 8 bytes, which is where Table VI's insts(B) =
+ * 8 * #insts comes from.
+ */
+
+#ifndef DISTDA_COMPILER_MICROCODE_HH
+#define DISTDA_COMPILER_MICROCODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compiler/dfg.hh"
+
+namespace distda::compiler
+{
+
+/** Microcode operations. Arithmetic reuses OpCode. */
+enum class MicroKind : std::uint8_t
+{
+    Alu,          ///< OpCode arithmetic on registers
+    LoadStream,   ///< read current element of stream accessor `slot`
+    StoreStream,  ///< write current element of stream accessor `slot`
+    LoadIdx,      ///< cp_read-style: object element at reg `a`
+    StoreIdx,     ///< cp_write-style: object element at reg `a` = reg `b`
+    Consume,      ///< cp_consume from in-channel `slot`
+    Produce,      ///< cp_produce to out-channel `slot`
+    CarryWrite,   ///< latch reg `a` into carry register `slot`
+};
+
+/** Register index sentinel: "no register". */
+constexpr std::uint16_t noReg = 0xffff;
+
+/** One 8-byte microcode instruction. */
+struct MicroInst
+{
+    MicroKind kind = MicroKind::Alu;
+    OpCode op = OpCode::Mov;   ///< valid when kind == Alu
+    std::uint16_t dst = noReg;
+    std::uint16_t a = noReg;
+    std::uint16_t b = noReg;
+    std::uint16_t c = noReg;   ///< third ALU input / store predicate
+    std::int32_t slot = -1;    ///< accessor / channel / carry slot
+};
+
+/** Encoded size of one microcode instruction in bytes. */
+constexpr std::uint32_t microInstBytes = 8;
+
+/** Carry register metadata. */
+struct CarrySlot
+{
+    std::uint16_t reg = noReg;   ///< architectural carry register
+    Word init{0};
+    bool isFloat = false;
+    int node = -1;               ///< originating DFG carry node
+};
+
+/** A partition's program plus its register-file preload metadata. */
+struct MicroProgram
+{
+    std::vector<MicroInst> insts;
+    int numRegs = 0;
+    std::uint16_t ivReg = noReg;  ///< orchestrator-maintained index
+
+    /** (param index, register) pairs preloaded via cp_set_rf. */
+    std::vector<std::pair<int, std::uint16_t>> paramRegs;
+    /** (register, value, is_float) literal preloads. */
+    struct ConstReg
+    {
+        std::uint16_t reg;
+        Word value;
+        bool isFloat;
+    };
+    std::vector<ConstReg> constRegs;
+    std::vector<CarrySlot> carries;
+
+    std::uint32_t byteSize() const
+    {
+        return static_cast<std::uint32_t>(insts.size()) * microInstBytes;
+    }
+};
+
+} // namespace distda::compiler
+
+#endif // DISTDA_COMPILER_MICROCODE_HH

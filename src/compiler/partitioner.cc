@@ -1,0 +1,346 @@
+#include "src/compiler/partitioner.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/sim/logging.hh"
+
+namespace distda::compiler
+{
+
+int
+PartitionGraph::addVertex(double weight, int obj_id)
+{
+    vertices.push_back(Vertex{weight, obj_id});
+    return static_cast<int>(vertices.size()) - 1;
+}
+
+void
+PartitionGraph::addEdge(int a, int b, double weight)
+{
+    if (a == b)
+        return;
+    if (a > b)
+        std::swap(a, b);
+    edges[{a, b}] += weight;
+}
+
+int
+PartitionGraph::numObjects() const
+{
+    int n = 0;
+    for (const Vertex &v : vertices)
+        if (v.objId >= 0)
+            ++n;
+    return n;
+}
+
+double
+cutCost(const PartitionGraph &graph, const std::vector<int> &assignment)
+{
+    double cut = 0.0;
+    for (const auto &[e, w] : graph.edges) {
+        if (assignment[static_cast<std::size_t>(e.first)] !=
+            assignment[static_cast<std::size_t>(e.second)])
+            cut += w;
+    }
+    return cut;
+}
+
+namespace
+{
+
+/** Adjacency lists derived from the edge map. */
+std::vector<std::vector<std::pair<int, double>>>
+adjacency(const PartitionGraph &graph)
+{
+    std::vector<std::vector<std::pair<int, double>>> adj(
+        graph.vertices.size());
+    for (const auto &[e, w] : graph.edges) {
+        adj[static_cast<std::size_t>(e.first)].push_back({e.second, w});
+        adj[static_cast<std::size_t>(e.second)].push_back({e.first, w});
+    }
+    return adj;
+}
+
+/** One level of heavy-edge-matching coarsening. */
+struct CoarseLevel
+{
+    PartitionGraph graph;
+    std::vector<int> fineToCoarse;
+};
+
+CoarseLevel
+coarsen(const PartitionGraph &graph)
+{
+    const std::size_t n = graph.vertices.size();
+    auto adj = adjacency(graph);
+    std::vector<int> match(n, -1);
+
+    // Visit vertices in order of decreasing heaviest incident edge so
+    // heavy edges collapse first; never match two object supernodes.
+    std::vector<int> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = static_cast<int>(i);
+    std::vector<double> heaviest(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (const auto &[j, w] : adj[i])
+            heaviest[i] = std::max(heaviest[i], w);
+    std::sort(order.begin(), order.end(), [&heaviest](int a, int b) {
+        return heaviest[static_cast<std::size_t>(a)] >
+               heaviest[static_cast<std::size_t>(b)];
+    });
+
+    for (int v : order) {
+        if (match[static_cast<std::size_t>(v)] != -1)
+            continue;
+        int best = -1;
+        double best_w = -1.0;
+        for (const auto &[u, w] : adj[static_cast<std::size_t>(v)]) {
+            if (match[static_cast<std::size_t>(u)] != -1)
+                continue;
+            const bool both_objects =
+                graph.vertices[static_cast<std::size_t>(v)].objId >= 0 &&
+                graph.vertices[static_cast<std::size_t>(u)].objId >= 0;
+            if (both_objects)
+                continue;
+            if (w > best_w) {
+                best_w = w;
+                best = u;
+            }
+        }
+        if (best != -1) {
+            match[static_cast<std::size_t>(v)] = best;
+            match[static_cast<std::size_t>(best)] = v;
+        } else {
+            match[static_cast<std::size_t>(v)] = v;
+        }
+    }
+
+    CoarseLevel level;
+    level.fineToCoarse.assign(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (level.fineToCoarse[i] != -1)
+            continue;
+        const auto j = static_cast<std::size_t>(match[i]);
+        const PartitionGraph::Vertex &vi = graph.vertices[i];
+        const PartitionGraph::Vertex &vj = graph.vertices[j];
+        const int obj = std::max(vi.objId, vj.objId);
+        const double w = (i == j) ? vi.weight : vi.weight + vj.weight;
+        const int cv = level.graph.addVertex(w, obj);
+        level.fineToCoarse[i] = cv;
+        level.fineToCoarse[j] = cv;
+    }
+    for (const auto &[e, w] : graph.edges) {
+        level.graph.addEdge(
+            level.fineToCoarse[static_cast<std::size_t>(e.first)],
+            level.fineToCoarse[static_cast<std::size_t>(e.second)], w);
+    }
+    return level;
+}
+
+/** Greedy initial assignment with object vertices pinned round-robin. */
+std::vector<int>
+initialAssign(const PartitionGraph &graph, int k)
+{
+    const std::size_t n = graph.vertices.size();
+    auto adj = adjacency(graph);
+    std::vector<int> assign(n, -1);
+
+    int next_part = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (graph.vertices[i].objId >= 0) {
+            assign[i] = next_part % k;
+            ++next_part;
+        }
+    }
+    // Seed empty partitions with the heaviest unassigned vertices.
+    for (int p = next_part; p < k; ++p) {
+        int best = -1;
+        double best_w = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (assign[i] == -1 && graph.vertices[i].weight > best_w) {
+                best_w = graph.vertices[i].weight;
+                best = static_cast<int>(i);
+            }
+        }
+        if (best == -1)
+            break;
+        assign[static_cast<std::size_t>(best)] = p;
+    }
+
+    // Assign remaining vertices in order of decreasing connectivity to
+    // the partition they talk to most.
+    std::vector<int> order;
+    for (std::size_t i = 0; i < n; ++i)
+        if (assign[i] == -1)
+            order.push_back(static_cast<int>(i));
+    std::vector<double> conn(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (const auto &[j, w] : adj[i])
+            conn[i] += w;
+    std::sort(order.begin(), order.end(), [&conn](int a, int b) {
+        return conn[static_cast<std::size_t>(a)] >
+               conn[static_cast<std::size_t>(b)];
+    });
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int v : order) {
+            if (assign[static_cast<std::size_t>(v)] != -1)
+                continue;
+            std::vector<double> gain(static_cast<std::size_t>(k), 0.0);
+            bool any = false;
+            for (const auto &[u, w] : adj[static_cast<std::size_t>(v)]) {
+                const int pu = assign[static_cast<std::size_t>(u)];
+                if (pu >= 0) {
+                    gain[static_cast<std::size_t>(pu)] += w;
+                    any = true;
+                }
+            }
+            if (!any)
+                continue;
+            const int best = static_cast<int>(
+                std::max_element(gain.begin(), gain.end()) - gain.begin());
+            assign[static_cast<std::size_t>(v)] = best;
+            progress = true;
+        }
+    }
+    // Isolated vertices go to partition 0.
+    for (std::size_t i = 0; i < n; ++i)
+        if (assign[i] == -1)
+            assign[i] = 0;
+    return assign;
+}
+
+/** KL/FM refinement: hill-climb single-vertex moves. Object vertices
+ *  stay pinned so each partition keeps at most ceil(#obj/k) objects. */
+void
+refine(const PartitionGraph &graph, int k, std::vector<int> &assign)
+{
+    const std::size_t n = graph.vertices.size();
+    auto adj = adjacency(graph);
+
+    bool improved = true;
+    int rounds = 0;
+    while (improved && rounds++ < 16) {
+        improved = false;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (graph.vertices[v].objId >= 0)
+                continue; // pinned
+            std::vector<double> conn(static_cast<std::size_t>(k), 0.0);
+            for (const auto &[u, w] : adj[v])
+                conn[static_cast<std::size_t>(
+                    assign[static_cast<std::size_t>(u)])] += w;
+            const int cur = assign[v];
+            int best = cur;
+            double best_gain = 0.0;
+            for (int p = 0; p < k; ++p) {
+                if (p == cur)
+                    continue;
+                const double gain =
+                    conn[static_cast<std::size_t>(p)] -
+                    conn[static_cast<std::size_t>(cur)];
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best = p;
+                }
+            }
+            if (best != cur) {
+                assign[v] = best;
+                improved = true;
+            }
+        }
+    }
+}
+
+int
+maxObjectsPerPartition(const PartitionGraph &graph, int k,
+                       const std::vector<int> &assign)
+{
+    std::vector<int> objs(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < graph.vertices.size(); ++i)
+        if (graph.vertices[i].objId >= 0)
+            ++objs[static_cast<std::size_t>(assign[i])];
+    return *std::max_element(objs.begin(), objs.end());
+}
+
+} // namespace
+
+PartitionSolution
+partitionGraph(const PartitionGraph &graph, int k)
+{
+    DISTDA_ASSERT(k >= 1, "k=%d", k);
+    const std::size_t n = graph.vertices.size();
+
+    PartitionSolution sol;
+    sol.k = k;
+    if (k == 1 || n <= 1) {
+        sol.assignment.assign(n, 0);
+        sol.cutCost = 0.0;
+        sol.maxObjectsPerPartition = graph.numObjects();
+        return sol;
+    }
+
+    // Multilevel: coarsen while the graph is large, partition the
+    // coarsest level, then project back and refine at each level.
+    std::vector<CoarseLevel> levels;
+    const PartitionGraph *cur = &graph;
+    const std::size_t coarse_target =
+        std::max<std::size_t>(static_cast<std::size_t>(4 * k), 32);
+    while (cur->vertices.size() > coarse_target) {
+        levels.push_back(coarsen(*cur));
+        if (levels.back().graph.vertices.size() == cur->vertices.size()) {
+            levels.pop_back(); // no progress (e.g., no edges)
+            break;
+        }
+        cur = &levels.back().graph;
+    }
+
+    std::vector<int> assign = initialAssign(*cur, k);
+    refine(*cur, k, assign);
+
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+        const PartitionGraph &finer =
+            (std::next(it) == levels.rend()) ? graph
+                                             : std::next(it)->graph;
+        std::vector<int> fine_assign(finer.vertices.size());
+        for (std::size_t i = 0; i < finer.vertices.size(); ++i)
+            fine_assign[i] = assign[static_cast<std::size_t>(
+                it->fineToCoarse[i])];
+        refine(finer, k, fine_assign);
+        assign = std::move(fine_assign);
+    }
+
+    sol.assignment = std::move(assign);
+    sol.cutCost = cutCost(graph, sol.assignment);
+    sol.maxObjectsPerPartition =
+        maxObjectsPerPartition(graph, k, sol.assignment);
+    return sol;
+}
+
+PartitionSolution
+sweepPartition(const PartitionGraph &graph)
+{
+    const int num_objects = std::max(graph.numObjects(), 1);
+    PartitionSolution best;
+    bool have_best = false;
+    for (int k = 1; k <= num_objects; ++k) {
+        PartitionSolution sol = partitionGraph(graph, k);
+        // Paper §V-A-3: prefer the fewest data structures per
+        // partition, then the lowest inter-partition communication.
+        const bool better =
+            !have_best ||
+            sol.maxObjectsPerPartition < best.maxObjectsPerPartition ||
+            (sol.maxObjectsPerPartition == best.maxObjectsPerPartition &&
+             sol.cutCost < best.cutCost);
+        if (better) {
+            best = std::move(sol);
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+} // namespace distda::compiler

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multilevel min-cut graph partitioner in the Metis family (§V-A-3):
+ * heavy-edge-matching coarsening, greedy seeded initial partitioning,
+ * and Kernighan–Lin/FM refinement, specialized with the paper's
+ * constraint that each partition holds at most one memory object.
+ *
+ * The paper iterates the partition count and keeps the solution with
+ * the lowest inter-partition communication cost and the fewest data
+ * structures per partition; sweepPartition() implements that loop.
+ */
+
+#ifndef DISTDA_COMPILER_PARTITIONER_HH
+#define DISTDA_COMPILER_PARTITIONER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace distda::compiler
+{
+
+/** Input graph: weighted vertices, weighted undirected edges. */
+struct PartitionGraph
+{
+    struct Vertex
+    {
+        double weight = 1.0;
+        int objId = -1; ///< >=0 marks an object supernode (pinned)
+    };
+
+    std::vector<Vertex> vertices;
+    std::map<std::pair<int, int>, double> edges;
+
+    int addVertex(double weight = 1.0, int obj_id = -1);
+
+    /** Accumulate weight onto the undirected edge {a, b}. */
+    void addEdge(int a, int b, double weight);
+
+    int numObjects() const;
+};
+
+/** One partitioning solution. */
+struct PartitionSolution
+{
+    std::vector<int> assignment; ///< vertex -> partition
+    int k = 0;
+    double cutCost = 0.0;
+    int maxObjectsPerPartition = 0;
+};
+
+/** Cut cost of @p assignment on @p graph. */
+double cutCost(const PartitionGraph &graph,
+               const std::vector<int> &assignment);
+
+/** Partition into exactly @p k parts (multilevel KL/FM). */
+PartitionSolution partitionGraph(const PartitionGraph &graph, int k);
+
+/**
+ * The paper's iteration: try k = 1 .. #objects, prefer solutions with
+ * fewer objects per partition, then lower communication cost.
+ */
+PartitionSolution sweepPartition(const PartitionGraph &graph);
+
+} // namespace distda::compiler
+
+#endif // DISTDA_COMPILER_PARTITIONER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The tested configurations of §VI-A:
+ *   1. OoO            — out-of-order host alone
+ *   2. Mono-CA        — monolithic accelerator @L3 bus @2GHz,
+ *                        centralized stream accesses, 8KB private cache
+ *   3. Mono-DA-IO     — monolithic IO-core accelerator @2GHz,
+ *                        decentralized accesses
+ *   4. Mono-DA-F      — monolithic 8x8 CGRA @1GHz, decentralized
+ *   5. Dist-DA-IO     — distributed IO cores @2GHz
+ *   6. Dist-DA-F      — distributed 5x5 CGRAs @1GHz
+ * plus the Fig 14 software-optimization variants.
+ */
+
+#ifndef DISTDA_DRIVER_CONFIG_HH
+#define DISTDA_DRIVER_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/plan.hh"
+#include "src/engine/engine.hh"
+
+namespace distda::driver
+{
+
+/** Architecture models under evaluation. */
+enum class ArchModel
+{
+    OoO,
+    MonoCA,
+    MonoDA_IO,
+    MonoDA_F,
+    DistDA_IO,
+    DistDA_F,
+    DistDA_IO_SW, ///< Fig 14: 4-issue IO + software prefetching
+    DistDA_F_A,   ///< Fig 14: allocation customized for locality
+};
+
+const char *archModelName(ArchModel m);
+
+/** All models evaluated in the headline figures, in plot order. */
+std::vector<ArchModel> headlineModels();
+
+/** One run's configuration. */
+struct RunConfig
+{
+    ArchModel model = ArchModel::OoO;
+    /** Accelerator clock override in GHz (0 = model default). */
+    double accelGHz = 0.0;
+
+    // Ablation knobs (defaults keep the paper's design choices).
+    bool disableCombining = false;  ///< drop Fig 2d combining
+    bool disableRetention = false;  ///< drop §V-B buffer reuse
+    std::uint32_t bufferBytesOverride = 0; ///< per-cluster SRAM (0=4KB)
+    int channelCapacityOverride = 0;       ///< decoupling depth (0=64)
+
+    bool usesAccelerator() const { return model != ArchModel::OoO; }
+    bool distributed() const
+    {
+        return model == ArchModel::DistDA_IO ||
+               model == ArchModel::DistDA_F ||
+               model == ArchModel::DistDA_IO_SW ||
+               model == ArchModel::DistDA_F_A;
+    }
+    bool cgra() const
+    {
+        return model == ArchModel::MonoDA_F ||
+               model == ArchModel::DistDA_F ||
+               model == ArchModel::DistDA_F_A;
+    }
+    bool allocAffinity() const { return model == ArchModel::DistDA_F_A; }
+
+    /** Compiler options implied by the model. */
+    compiler::CompileOptions compileOptions() const;
+
+    /** Engine configuration implied by the model. */
+    engine::EngineConfig engineConfig() const;
+};
+
+} // namespace distda::driver
+
+#endif // DISTDA_DRIVER_CONFIG_HH

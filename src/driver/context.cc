@@ -1,0 +1,208 @@
+#include "src/driver/context.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace distda::driver
+{
+
+ExecContext::ExecContext(System &sys, const RunConfig &config)
+    : _sys(sys), _config(config), _hostClock(2'000'000'000ULL)
+{
+}
+
+ExecContext::~ExecContext() = default;
+
+ExecContext::CompiledKernel &
+ExecContext::compiled(const compiler::Kernel &kernel)
+{
+    auto it = _kernels.find(kernel.name);
+    if (it != _kernels.end())
+        return it->second;
+
+    CompiledKernel ck;
+    ck.plan = std::make_unique<compiler::OffloadPlan>(
+        compiler::compileKernel(kernel, _config.compileOptions()));
+    if (_config.usesAccelerator()) {
+        ck.runtime = std::make_unique<offload::OffloadRuntime>(
+            *ck.plan, _config.engineConfig(), &_sys.hier(),
+            &_sys.backend(), &_sys.acct());
+    } else {
+        ck.host = std::make_unique<engine::HostExecutor>(
+            ck.plan->kernel, &_sys.hier(), &_sys.backend(),
+            &_sys.acct());
+    }
+    auto [pos, ok] = _kernels.emplace(kernel.name, std::move(ck));
+    DISTDA_ASSERT(ok, "kernel '%s' compiled twice",
+                  kernel.name.c_str());
+    return pos->second;
+}
+
+void
+ExecContext::invoke(const compiler::Kernel &kernel,
+                    const std::vector<engine::ArrayRef> &bindings,
+                    const std::vector<compiler::Word> &params)
+{
+    CompiledKernel &ck = compiled(kernel);
+    if (ck.host) {
+        engine::HostRunResult res = ck.host->run(bindings, params, _now);
+        _now = res.endTick;
+        _hostInsts += res.insts;
+        _memOps += res.memOps;
+        _lastResults = std::move(res.results);
+    } else {
+        offload::OffloadRunResult res =
+            ck.runtime->invoke(bindings, params, _now);
+        _now = res.endTick;
+        _accelInsts += res.accelInsts;
+        _memOps += res.memOps;
+        _lastResults = std::move(res.results);
+    }
+}
+
+double
+ExecContext::resultF(std::size_t idx) const
+{
+    DISTDA_ASSERT(idx < _lastResults.size(), "result %zu missing", idx);
+    return _lastResults[idx].second.f;
+}
+
+std::int64_t
+ExecContext::resultI(std::size_t idx) const
+{
+    DISTDA_ASSERT(idx < _lastResults.size(), "result %zu missing", idx);
+    return _lastResults[idx].second.i;
+}
+
+void
+ExecContext::hostOps(double n)
+{
+    const double cycles = n / 5.0; // 5-wide issue
+    _now += static_cast<sim::Tick>(cycles * _hostClock.period());
+    _hostInsts += n;
+    _sys.acct().addEvents(energy::Component::OoOCore, n);
+}
+
+std::int64_t
+ExecContext::hostLoadI(const engine::ArrayRef &arr, std::uint64_t i)
+{
+    const auto res =
+        _sys.hier().hostAccess(arr.addrOf(i), arr.elemBytes, false, _now);
+    _now += res.latency;
+    _hostInsts += 1.0;
+    _hostMemOps += 1.0;
+    _sys.acct().addEvents(energy::Component::OoOCore, 1.0);
+    return arr.getI(i);
+}
+
+double
+ExecContext::hostLoadF(const engine::ArrayRef &arr, std::uint64_t i)
+{
+    const auto res =
+        _sys.hier().hostAccess(arr.addrOf(i), arr.elemBytes, false, _now);
+    _now += res.latency;
+    _hostInsts += 1.0;
+    _hostMemOps += 1.0;
+    _sys.acct().addEvents(energy::Component::OoOCore, 1.0);
+    return arr.getF(i);
+}
+
+void
+ExecContext::hostStoreI(engine::ArrayRef &arr, std::uint64_t i,
+                        std::int64_t v)
+{
+    _sys.hier().hostAccess(arr.addrOf(i), arr.elemBytes, true, _now);
+    _now += _hostClock.period();
+    _hostInsts += 1.0;
+    _hostMemOps += 1.0;
+    _sys.acct().addEvents(energy::Component::OoOCore, 1.0);
+    arr.setI(i, v);
+}
+
+void
+ExecContext::hostStoreF(engine::ArrayRef &arr, std::uint64_t i, double v)
+{
+    _sys.hier().hostAccess(arr.addrOf(i), arr.elemBytes, true, _now);
+    _now += _hostClock.period();
+    _hostInsts += 1.0;
+    _hostMemOps += 1.0;
+    _sys.acct().addEvents(energy::Component::OoOCore, 1.0);
+    arr.setF(i, v);
+}
+
+const compiler::OffloadPlan *
+ExecContext::planOf(const std::string &kernel_name) const
+{
+    auto it = _kernels.find(kernel_name);
+    return it == _kernels.end() ? nullptr : it->second.plan.get();
+}
+
+const compiler::OffloadPlan &
+ExecContext::compileOnly(const compiler::Kernel &kernel)
+{
+    return *compiled(kernel).plan;
+}
+
+Metrics
+ExecContext::finish()
+{
+    Metrics m;
+    m.config = archModelName(_config.model);
+    m.timeNs = nowNs();
+    m.hostInsts = _hostInsts;
+    m.accelInsts = _accelInsts;
+    m.kernelMemOps = _memOps;
+    m.hostMemOps = _hostMemOps;
+
+    auto &hier = _sys.hier();
+    m.cacheAccesses = hier.cacheAccesses();
+
+    auto &acct = _sys.acct();
+    m.totalEnergyPj = acct.totalPj();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(
+                 energy::Component::NumComponents);
+         ++i) {
+        const auto c = static_cast<energy::Component>(i);
+        m.energyByComponent[energy::componentName(c)] =
+            acct.componentPj(c);
+    }
+
+    auto &mesh = hier.mesh();
+    m.nocCtrlBytes = mesh.bytesInClass(noc::TrafficClass::Ctrl);
+    m.nocDataBytes = mesh.bytesInClass(noc::TrafficClass::Data);
+    m.nocAccCtrlBytes = mesh.bytesInClass(noc::TrafficClass::AccCtrl);
+    m.nocAccDataBytes = mesh.bytesInClass(noc::TrafficClass::AccData);
+
+    for (const auto &[name, ck] : _kernels) {
+        if (ck.runtime) {
+            const auto &st = ck.runtime->accessStats();
+            m.intraBytes += st.intraBytes;
+            m.daBytes += st.daBytes;
+            m.aaBytes += st.aaBytes;
+            m.mmioOps += ck.runtime->mmioOps();
+        }
+    }
+
+    // Data movement: bytes times interfaces crossed. Local buffer
+    // reads (intra) are excluded — data staying inside one access unit
+    // is precisely what "near-data" avoids moving — while traffic that
+    // additionally rides the NoC is counted again there, so a byte
+    // hauled across the chip (Mono-CA's centralized accesses) costs
+    // more movement than the same byte served bank-to-buffer locally.
+    const auto &l1 = hier.l1();
+    const auto &l2 = hier.l2();
+    m.dataMovementBytes =
+        l1.accesses() * 8.0 +
+        (l1.misses() + l1.writebacks()) * mem::lineBytes +
+        (l2.misses() + l2.writebacks() + l2.prefetchesIssued()) *
+            mem::lineBytes +
+        (hier.dram().reads() + hier.dram().writes()) * mem::lineBytes +
+        m.daBytes + m.aaBytes +
+        mesh.hopFlits() * 8.0; // NoC bytes weighted by hops traveled
+
+    return m;
+}
+
+} // namespace distda::driver

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The execution context a workload's host program runs in. It owns the
+ * host timeline, compiles kernels on first use for the active
+ * architecture model, dispatches invocations either to the host core
+ * (OoO) or through the offload runtime, and charges host "glue"
+ * instructions and accesses for code outside the offloaded regions.
+ */
+
+#ifndef DISTDA_DRIVER_CONTEXT_HH
+#define DISTDA_DRIVER_CONTEXT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/config.hh"
+#include "src/driver/metrics.hh"
+#include "src/driver/system.hh"
+#include "src/engine/host_exec.hh"
+#include "src/offload/runtime.hh"
+
+namespace distda::driver
+{
+
+/** Host-program execution context for one run. */
+class ExecContext
+{
+  public:
+    ExecContext(System &sys, const RunConfig &config);
+    ~ExecContext();
+
+    System &sys() { return _sys; }
+    const RunConfig &config() const { return _config; }
+
+    /** Integer parameter word. */
+    static compiler::Word
+    wi(std::int64_t v)
+    {
+        compiler::Word w;
+        w.i = v;
+        return w;
+    }
+
+    /** Floating-point parameter word. */
+    static compiler::Word
+    wf(double v)
+    {
+        compiler::Word w;
+        w.f = v;
+        return w;
+    }
+
+    /**
+     * Invoke @p kernel with object @p bindings and scalar @p params.
+     * Results of result-carries are retrievable afterwards.
+     */
+    void invoke(const compiler::Kernel &kernel,
+                const std::vector<engine::ArrayRef> &bindings,
+                const std::vector<compiler::Word> &params);
+
+    /** Result value of the i-th result carry of the last invoke. */
+    double resultF(std::size_t idx) const;
+    std::int64_t resultI(std::size_t idx) const;
+
+    /** Charge @p n host instructions of glue code. */
+    void hostOps(double n);
+
+    /** Host-side load/store (outside offloaded regions). */
+    std::int64_t hostLoadI(const engine::ArrayRef &arr,
+                           std::uint64_t i);
+    double hostLoadF(const engine::ArrayRef &arr, std::uint64_t i);
+    void hostStoreI(engine::ArrayRef &arr, std::uint64_t i,
+                    std::int64_t v);
+    void hostStoreF(engine::ArrayRef &arr, std::uint64_t i, double v);
+
+    sim::Tick nowTick() const { return _now; }
+    double nowNs() const { return static_cast<double>(_now) / 1000.0; }
+
+    /** Compiled plan of a kernel (after first invoke). */
+    const compiler::OffloadPlan *planOf(const std::string &kernel_name)
+        const;
+
+    /** Compile a kernel without running it (tables/characteristics). */
+    const compiler::OffloadPlan &compileOnly(
+        const compiler::Kernel &kernel);
+
+    /** Collect final metrics (workload/validated filled by runner). */
+    Metrics finish();
+
+  private:
+    struct CompiledKernel
+    {
+        std::unique_ptr<compiler::OffloadPlan> plan;
+        std::unique_ptr<offload::OffloadRuntime> runtime;
+        std::unique_ptr<engine::HostExecutor> host;
+    };
+
+    CompiledKernel &compiled(const compiler::Kernel &kernel);
+
+    System &_sys;
+    RunConfig _config;
+    sim::ClockDomain _hostClock;
+    sim::Tick _now = 0;
+    std::map<std::string, CompiledKernel> _kernels;
+    std::map<const compiler::Kernel *, std::string> _kernelNames;
+    std::vector<std::pair<int, compiler::Word>> _lastResults;
+    double _hostInsts = 0.0;
+    double _accelInsts = 0.0;
+    double _memOps = 0.0;
+    double _hostMemOps = 0.0;
+};
+
+} // namespace distda::driver
+
+#endif // DISTDA_DRIVER_CONTEXT_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Run metrics collected for the paper's tables and figures.
+ *
+ * The "data movement" metric sums the bytes crossing each interface
+ * exactly once: core<->L1 words, L1<->L2 and L2<->L3 line fills and
+ * writebacks, L3<->DRAM lines, accelerator buffer traffic (intra),
+ * accelerator<->cache (D-A) and accelerator<->accelerator (A-A).
+ */
+
+#ifndef DISTDA_DRIVER_METRICS_HH
+#define DISTDA_DRIVER_METRICS_HH
+
+#include <map>
+#include <string>
+
+namespace distda::driver
+{
+
+/** Metrics of one (workload, configuration) run. */
+struct Metrics
+{
+    std::string workload;
+    std::string config;
+
+    double timeNs = 0.0;
+    double hostInsts = 0.0;
+    double accelInsts = 0.0;
+    double kernelMemOps = 0.0;
+    double hostMemOps = 0.0; ///< host accesses outside offloads
+    double mmioOps = 0.0;
+
+    /** Table VI %cc: dynamic instruction share that is specialized. */
+    double
+    codeCoverage() const
+    {
+        return totalInsts() > 0.0 ? 100.0 * accelInsts / totalInsts()
+                                  : 0.0;
+    }
+
+    /** Table VI %dc: share of memory accesses that are offloaded. */
+    double
+    dataCoverage() const
+    {
+        const double total = kernelMemOps + hostMemOps;
+        return total > 0.0 ? 100.0 * kernelMemOps / total : 0.0;
+    }
+
+    /** Table VI %init: MMIO overhead per application memory access. */
+    double
+    initOverhead() const
+    {
+        const double total = kernelMemOps + hostMemOps;
+        return total > 0.0 ? 100.0 * mmioOps / total : 0.0;
+    }
+
+    double cacheAccesses = 0.0; ///< Fig 8 metric
+    double dataMovementBytes = 0.0;
+
+    double totalEnergyPj = 0.0;
+    std::map<std::string, double> energyByComponent;
+
+    double nocCtrlBytes = 0.0;
+    double nocDataBytes = 0.0;
+    double nocAccCtrlBytes = 0.0;
+    double nocAccDataBytes = 0.0;
+
+    double intraBytes = 0.0; ///< Fig 9
+    double daBytes = 0.0;
+    double aaBytes = 0.0;
+
+    bool validated = false;
+
+    double totalInsts() const { return hostInsts + accelInsts; }
+
+    /** IPC against the 2GHz host clock (Fig 11a). */
+    double
+    ipc() const
+    {
+        return timeNs > 0.0 ? totalInsts() / (timeNs * 2.0) : 0.0;
+    }
+
+    /** Memory operations per nanosecond (Fig 11a). */
+    double
+    memOpRate() const
+    {
+        return timeNs > 0.0 ? kernelMemOps / timeNs : 0.0;
+    }
+
+    double nocTotalBytes() const
+    {
+        return nocCtrlBytes + nocDataBytes + nocAccCtrlBytes +
+               nocAccDataBytes;
+    }
+
+    /** Energy efficiency of this run relative to @p baseline. */
+    double
+    energyEfficiencyVs(const Metrics &baseline) const
+    {
+        return totalEnergyPj > 0.0
+                   ? baseline.totalEnergyPj / totalEnergyPj
+                   : 0.0;
+    }
+
+    double
+    speedupVs(const Metrics &baseline) const
+    {
+        return timeNs > 0.0 ? baseline.timeNs / timeNs : 0.0;
+    }
+};
+
+} // namespace distda::driver
+
+#endif // DISTDA_DRIVER_METRICS_HH

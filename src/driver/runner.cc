@@ -1,0 +1,47 @@
+#include "src/driver/runner.hh"
+
+#include <cmath>
+
+#include "src/sim/logging.hh"
+#include "src/workloads/workload.hh"
+
+namespace distda::driver
+{
+
+Metrics
+runWorkload(const std::string &workload, const RunConfig &config,
+            const RunOptions &opts)
+{
+    auto wl = workloads::makeWorkload(workload, opts.scale);
+
+    SystemParams sp;
+    sp.arenaBytes = wl->arenaBytes();
+    sp.allocAffinity = config.allocAffinity();
+    System sys(sp);
+
+    wl->setup(sys);
+    ExecContext ctx(sys, config);
+    wl->run(ctx);
+
+    Metrics m = ctx.finish();
+    m.workload = workload;
+    m.validated = wl->validate(sys);
+    if (!m.validated) {
+        warn("workload '%s' under %s failed validation",
+             workload.c_str(), archModelName(config.model));
+    }
+    return m;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace distda::driver

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Experiment runner: builds a fresh system per (workload,
+ * configuration) pair, executes the workload to completion, validates
+ * outputs and returns the collected metrics.
+ */
+
+#ifndef DISTDA_DRIVER_RUNNER_HH
+#define DISTDA_DRIVER_RUNNER_HH
+
+#include <string>
+
+#include "src/driver/config.hh"
+#include "src/driver/metrics.hh"
+
+namespace distda::driver
+{
+
+/** Run options shared across sweeps. */
+struct RunOptions
+{
+    double scale = 1.0; ///< problem-size multiplier
+};
+
+/** Run one workload under one configuration. */
+Metrics runWorkload(const std::string &workload, const RunConfig &config,
+                    const RunOptions &opts = RunOptions{});
+
+/** Geometric mean helper for the summary rows. */
+double geomean(const std::vector<double> &values);
+
+} // namespace distda::driver
+
+#endif // DISTDA_DRIVER_RUNNER_HH

@@ -1,0 +1,79 @@
+#include "src/energy/energy_model.hh"
+
+#include "src/sim/logging.hh"
+
+namespace distda::energy
+{
+
+const char *
+componentName(Component c)
+{
+    switch (c) {
+      case Component::OoOCore: return "ooo_core";
+      case Component::IOCore: return "io_core";
+      case Component::Cgra: return "cgra";
+      case Component::L1: return "l1";
+      case Component::L2: return "l2";
+      case Component::L3: return "l3";
+      case Component::Dram: return "dram";
+      case Component::Buffer: return "buffer";
+      case Component::Noc: return "noc";
+      case Component::Mmio: return "mmio";
+      case Component::Acp: return "acp";
+      default: panic("bad energy component %d", static_cast<int>(c));
+    }
+}
+
+Accountant::Accountant(const EnergyParams &params) : _params(params)
+{
+}
+
+void
+Accountant::addEvents(Component c, double n)
+{
+    double per = 0.0;
+    switch (c) {
+      case Component::OoOCore: per = _params.oooPerInstPj; break;
+      case Component::IOCore: per = _params.ioPerInstPj; break;
+      case Component::Cgra: per = _params.cgraPerOpPj; break;
+      case Component::L1: per = _params.l1AccessPj; break;
+      case Component::L2: per = _params.l2AccessPj; break;
+      case Component::L3: per = _params.l3AccessPj; break;
+      case Component::Dram: per = _params.dramLinePj; break;
+      case Component::Buffer: per = _params.bufferAccessPj; break;
+      case Component::Noc: per = _params.nocHopFlitPj; break;
+      case Component::Mmio: per = _params.mmioPj; break;
+      case Component::Acp: per = _params.acpAccessPj; break;
+      default: panic("bad energy component %d", static_cast<int>(c));
+    }
+    add(c, per * n);
+}
+
+double
+Accountant::totalPj() const
+{
+    double total = 0.0;
+    for (double v : _perComponent)
+        total += v;
+    return total;
+}
+
+void
+Accountant::reset()
+{
+    _perComponent.fill(0.0);
+}
+
+void
+Accountant::exportStats(stats::Group &group) const
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Component::NumComponents); ++i) {
+        group.add(std::string("energy_pj.") +
+                  componentName(static_cast<Component>(i))) =
+            _perComponent[i];
+    }
+    group.add("energy_pj.total") = totalPj();
+}
+
+} // namespace distda::energy

@@ -1,0 +1,359 @@
+#include "src/engine/actor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/sim/logging.hh"
+#include "src/sim/trace.hh"
+
+namespace distda::engine
+{
+
+using compiler::MicroInst;
+using compiler::MicroKind;
+using compiler::OpCode;
+using compiler::Word;
+
+PartitionActor::PartitionActor(
+    const Config &config, std::vector<AccessorRuntime> accessors,
+    std::unique_ptr<accel::RandomUnit> random, std::vector<Channel *> ins,
+    std::vector<Channel *> outs, std::vector<Word> param_values,
+    MemBackend *backend, energy::Accountant *acct, noc::Mesh *mesh,
+    accel::AccessStats *stats)
+    : _config(config), _accessors(std::move(accessors)),
+      _random(std::move(random)), _ins(std::move(ins)),
+      _outs(std::move(outs)), _backend(backend), _acct(acct),
+      _mesh(mesh), _stats(stats)
+{
+    const compiler::MicroProgram &prog = _config.part->program;
+    _regs.assign(static_cast<std::size_t>(std::max(prog.numRegs, 1)),
+                 Word{});
+
+    for (const auto &[param_idx, reg] : prog.paramRegs) {
+        DISTDA_ASSERT(param_idx >= 0 &&
+                          param_idx <
+                              static_cast<int>(param_values.size()),
+                      "param %d unbound", param_idx);
+        _regs[reg] = param_values[static_cast<std::size_t>(param_idx)];
+    }
+    for (const auto &c : prog.constRegs)
+        _regs[c.reg] = c.value;
+    for (const auto &c : prog.carries)
+        _regs[c.reg] = c.init;
+    if (prog.ivReg != compiler::noReg)
+        _regs[prog.ivReg].i = 0;
+
+    _now = config.startTick;
+    _lastInit = config.startTick;
+    _instCost = (config.kind == ActorKind::InOrder)
+                    ? config.cycleTick /
+                          static_cast<sim::Tick>(
+                              std::max(config.issueWidth, 1))
+                    : 0;
+}
+
+Word
+PartitionActor::evalAlu(const MicroInst &inst) const
+{
+    const Word a = inst.a != compiler::noReg ? _regs[inst.a] : Word{};
+    const Word b = inst.b != compiler::noReg ? _regs[inst.b] : Word{};
+    const Word c = inst.c != compiler::noReg ? _regs[inst.c] : Word{};
+    Word r{};
+    switch (inst.op) {
+      case OpCode::IAdd: r.i = a.i + b.i; break;
+      case OpCode::ISub: r.i = a.i - b.i; break;
+      case OpCode::IMul: r.i = a.i * b.i; break;
+      case OpCode::IDiv:
+        DISTDA_ASSERT(b.i != 0, "integer division by zero");
+        r.i = a.i / b.i;
+        break;
+      case OpCode::IRem:
+        DISTDA_ASSERT(b.i != 0, "integer remainder by zero");
+        r.i = a.i % b.i;
+        break;
+      case OpCode::IMin: r.i = std::min(a.i, b.i); break;
+      case OpCode::IMax: r.i = std::max(a.i, b.i); break;
+      case OpCode::IAbs: r.i = std::llabs(a.i); break;
+      case OpCode::IAnd: r.i = a.i & b.i; break;
+      case OpCode::IOr: r.i = a.i | b.i; break;
+      case OpCode::IXor: r.i = a.i ^ b.i; break;
+      case OpCode::IShl: r.i = a.i << b.i; break;
+      case OpCode::IShr: r.i = a.i >> b.i; break;
+      case OpCode::ICmpLt: r.i = a.i < b.i; break;
+      case OpCode::ICmpLe: r.i = a.i <= b.i; break;
+      case OpCode::ICmpEq: r.i = a.i == b.i; break;
+      case OpCode::ICmpNe: r.i = a.i != b.i; break;
+      case OpCode::FAdd: r.f = a.f + b.f; break;
+      case OpCode::FSub: r.f = a.f - b.f; break;
+      case OpCode::FMul: r.f = a.f * b.f; break;
+      case OpCode::FDiv: r.f = a.f / b.f; break;
+      case OpCode::FSqrt: r.f = std::sqrt(a.f); break;
+      case OpCode::FAbs: r.f = std::fabs(a.f); break;
+      case OpCode::FMin: r.f = std::min(a.f, b.f); break;
+      case OpCode::FMax: r.f = std::max(a.f, b.f); break;
+      case OpCode::FNeg: r.f = -a.f; break;
+      case OpCode::FCmpLt: r.i = a.f < b.f; break;
+      case OpCode::FCmpLe: r.i = a.f <= b.f; break;
+      case OpCode::FCmpEq: r.i = a.f == b.f; break;
+      case OpCode::Select: r = a.i ? b : c; break;
+      case OpCode::I2F: r.f = static_cast<double>(a.i); break;
+      case OpCode::F2I: r.i = static_cast<std::int64_t>(a.f); break;
+      case OpCode::Mov: r = a; break;
+      default:
+        panic("bad ALU opcode %d", static_cast<int>(inst.op));
+    }
+    return r;
+}
+
+bool
+PartitionActor::execInst(const MicroInst &inst)
+{
+    switch (inst.kind) {
+      case MicroKind::Alu: {
+          _regs[inst.dst] = evalAlu(inst);
+          _now += _instCost;
+          break;
+      }
+      case MicroKind::LoadStream: {
+          AccessorRuntime &ar =
+              _accessors[static_cast<std::size_t>(inst.slot)];
+          const std::int64_t off =
+              ar.baseElemOffset + ar.def->affine.ivCoeff * _iter;
+          DISTDA_ASSERT(off >= 0 && static_cast<std::uint64_t>(off) <
+                                        ar.array.count,
+                        "stream load offset %lld out of bounds",
+                        static_cast<long long>(off));
+          _regs[inst.dst] = _backend->load(ar.array.addrOf(
+                                               static_cast<std::uint64_t>(
+                                                   off)),
+                                           ar.def->elemBytes,
+                                           ar.def->elemIsFloat);
+          {
+              const sim::Tick ready =
+                  ar.stream->readAt(_iter, _now, ar.tapDistance);
+              _stalls.streamWait += ready - _now;
+              _now = ready + _instCost;
+          }
+          _memOps += 1.0;
+          break;
+      }
+      case MicroKind::StoreStream: {
+          AccessorRuntime &ar =
+              _accessors[static_cast<std::size_t>(inst.slot)];
+          const bool pred =
+              inst.c == compiler::noReg || _regs[inst.c].i != 0;
+          if (pred) {
+              const std::int64_t off =
+                  ar.baseElemOffset + ar.def->affine.ivCoeff * _iter;
+              DISTDA_ASSERT(off >= 0 &&
+                                static_cast<std::uint64_t>(off) <
+                                    ar.array.count,
+                            "stream store offset %lld out of bounds",
+                            static_cast<long long>(off));
+              _backend->store(
+                  ar.array.addrOf(static_cast<std::uint64_t>(off)),
+                  _regs[inst.a], ar.def->elemBytes, ar.def->elemIsFloat);
+              _now = ar.stream->writeAt(_iter, _now, ar.tapDistance) +
+                     _instCost;
+          } else {
+              _now += _instCost;
+          }
+          _memOps += 1.0;
+          break;
+      }
+      case MicroKind::LoadIdx: {
+          AccessorRuntime &ar =
+              _accessors[static_cast<std::size_t>(inst.slot)];
+          const std::int64_t off = _regs[inst.a].i;
+          DISTDA_ASSERT(off >= 0 && static_cast<std::uint64_t>(off) <
+                                        ar.array.count,
+                        "indirect load offset %lld out of bounds (%s)",
+                        static_cast<long long>(off),
+                        _config.part ? "partition" : "?");
+          const mem::Addr addr =
+              ar.array.addrOf(static_cast<std::uint64_t>(off));
+          _regs[inst.dst] = _backend->load(addr, ar.def->elemBytes,
+                                           ar.def->elemIsFloat);
+          {
+              const sim::Tick done = _random->access(
+                  addr, ar.def->elemBytes, false, _now,
+                  _config.hideTicks);
+              _stalls.indirectWait += done - _now;
+              _now = done;
+          }
+          _memOps += 1.0;
+          break;
+      }
+      case MicroKind::StoreIdx: {
+          AccessorRuntime &ar =
+              _accessors[static_cast<std::size_t>(inst.slot)];
+          const bool pred =
+              inst.c == compiler::noReg || _regs[inst.c].i != 0;
+          if (pred) {
+              const std::int64_t off = _regs[inst.a].i;
+              DISTDA_ASSERT(off >= 0 &&
+                                static_cast<std::uint64_t>(off) <
+                                    ar.array.count,
+                            "indirect store offset %lld out of bounds",
+                            static_cast<long long>(off));
+              const mem::Addr addr =
+                  ar.array.addrOf(static_cast<std::uint64_t>(off));
+              _backend->store(addr, _regs[inst.b], ar.def->elemBytes,
+                              ar.def->elemIsFloat);
+              _now = _random->access(addr, ar.def->elemBytes, true, _now,
+                                     0);
+          } else {
+              _now += _instCost;
+          }
+          _memOps += 1.0;
+          break;
+      }
+      case MicroKind::Consume: {
+          Channel *ch = _ins[static_cast<std::size_t>(inst.slot)];
+          if (ch->empty()) {
+              if (ch->drained())
+                  panic("consume on drained channel (partition %d)",
+                        _config.part->id);
+              return false; // blocked; retried by the engine
+          }
+          const ChannelItem &item = ch->front();
+          _regs[inst.dst] = item.value;
+          if (item.readyAt > _now)
+              _stalls.channelWait += item.readyAt - _now;
+          _now = std::max(_now, item.readyAt) + _instCost;
+          ch->pop();
+          _stats->intraBytes += ch->elemBytes();
+          _stats->bufferAccesses += 1.0;
+          if (_acct)
+              _acct->addEvents(energy::Component::Buffer, 1.0);
+          break;
+      }
+      case MicroKind::Produce: {
+          Channel *ch = _outs[static_cast<std::size_t>(inst.slot)];
+          if (ch->full())
+              return false; // credit backpressure
+          sim::Tick arrive = _now;
+          if (ch->srcCluster() != ch->dstCluster()) {
+              auto xfer = _mesh->transfer(
+                  ch->srcCluster(), ch->dstCluster(), ch->elemBytes(),
+                  ch->isControl() ? noc::TrafficClass::AccCtrl
+                                  : noc::TrafficClass::AccData,
+                  _now);
+              arrive = _now + xfer.latency;
+          }
+          ch->push(_regs[inst.a], arrive);
+          _stats->aaBytes += ch->elemBytes();
+          _stats->bufferAccesses += 1.0;
+          if (_acct)
+              _acct->addEvents(energy::Component::Buffer, 1.0);
+          _now += _instCost;
+          break;
+      }
+      case MicroKind::CarryWrite: {
+          const auto &cs = _config.part->program
+                               .carries[static_cast<std::size_t>(
+                                   inst.slot)];
+          _regs[cs.reg] = _regs[inst.a];
+          _now += _instCost;
+          break;
+      }
+      default:
+        panic("bad microcode kind %d", static_cast<int>(inst.kind));
+    }
+    _insts += 1.0;
+    if (_acct) {
+        // cp_produce/cp_consume are implicit-dataflow buffer-port
+        // operations (SS IV-B), cheaper than a full pipeline pass.
+        const bool port_op = inst.kind == MicroKind::Produce ||
+                             inst.kind == MicroKind::Consume;
+        _acct->addEvents(_config.energyComp,
+                         _config.instEnergyScale * (port_op ? 0.4 : 1.0));
+    }
+    return true;
+}
+
+ActorStatus
+PartitionActor::run(std::int64_t max_iters)
+{
+    if (_finished)
+        return ActorStatus::Finished;
+
+    const auto &insts = _config.part->program.insts;
+    const std::uint16_t iv_reg = _config.part->program.ivReg;
+    std::int64_t done = 0;
+
+    while (_iter < _config.trip) {
+        if (_pc == 0) {
+            if (done >= max_iters)
+                return ActorStatus::Running;
+            if (_config.kind == ActorKind::Cgra) {
+                // Initiation-interval pacing: one new iteration every
+                // II fabric cycles once the pipeline is primed.
+                const sim::Tick init =
+                    _lastInit + static_cast<sim::Tick>(_config.ii) *
+                                    _config.cycleTick;
+                if (_iter > 0)
+                    _now = std::max(_now, init);
+                _lastInit = _now;
+            }
+            if (iv_reg != compiler::noReg)
+                _regs[iv_reg].i = _iter;
+        }
+        while (_pc < insts.size()) {
+            if (!execInst(insts[_pc]))
+                return ActorStatus::Blocked;
+            ++_pc;
+        }
+        _pc = 0;
+        ++_iter;
+        ++done;
+        if (_config.kind == ActorKind::Cgra && _iter == 1) {
+            // Pipeline fill of the spatial schedule.
+            _now += static_cast<sim::Tick>(_config.scheduleDepth) *
+                    _config.cycleTick;
+        }
+    }
+
+    finish();
+    return ActorStatus::Finished;
+}
+
+void
+PartitionActor::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    DISTDA_DPRINTF(Actor, _now, "actor",
+                   "partition %d finished: %lld iterations, %.0f insts",
+                   _config.part->id, static_cast<long long>(_iter),
+                   _insts);
+    sim::Tick done = _now;
+    std::set<accel::StreamUnit *> flushed;
+    for (AccessorRuntime &ar : _accessors) {
+        if (ar.stream && ar.stream->params().hasStores &&
+            flushed.insert(ar.stream).second)
+            done = std::max(done, ar.stream->flush(_now));
+    }
+    for (Channel *ch : _outs)
+        ch->close();
+    _finishTick = done;
+    _now = done;
+}
+
+compiler::Word
+PartitionActor::carryValue(std::size_t idx) const
+{
+    const auto &carries = _config.part->program.carries;
+    DISTDA_ASSERT(idx < carries.size(), "carry %zu out of range", idx);
+    return _regs[carries[idx].reg];
+}
+
+const std::vector<compiler::CarrySlot> &
+PartitionActor::carrySlots() const
+{
+    return _config.part->program.carries;
+}
+
+} // namespace distda::engine

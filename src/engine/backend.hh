@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Functional memory backend: real bytes backing the slab arena so every
+ * simulated load/store moves actual data. This is what lets the suite
+ * validate each workload by running it to completion on every
+ * configuration and comparing outputs with a native reference.
+ */
+
+#ifndef DISTDA_ENGINE_BACKEND_HH
+#define DISTDA_ENGINE_BACKEND_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/compiler/dfg.hh"
+#include "src/mem/addr.hh"
+#include "src/sim/logging.hh"
+
+namespace distda::engine
+{
+
+/** Byte-addressable backing store for the accelerator-visible arena. */
+class MemBackend
+{
+  public:
+    MemBackend(mem::Addr base, std::uint64_t size)
+        : _base(base), _data(size, 0)
+    {
+    }
+
+    mem::Addr base() const { return _base; }
+    std::uint64_t size() const { return _data.size(); }
+
+    /** Load an element; integers sign-extend, floats widen to double. */
+    compiler::Word
+    load(mem::Addr addr, std::uint32_t elem_bytes, bool is_float) const
+    {
+        const std::uint8_t *p = at(addr, elem_bytes);
+        compiler::Word w{};
+        if (is_float) {
+            if (elem_bytes == 4) {
+                float f;
+                std::memcpy(&f, p, 4);
+                w.f = f;
+            } else {
+                std::memcpy(&w.f, p, 8);
+            }
+        } else {
+            switch (elem_bytes) {
+              case 1: {
+                  std::int8_t v;
+                  std::memcpy(&v, p, 1);
+                  w.i = v;
+                  break;
+              }
+              case 2: {
+                  std::int16_t v;
+                  std::memcpy(&v, p, 2);
+                  w.i = v;
+                  break;
+              }
+              case 4: {
+                  std::int32_t v;
+                  std::memcpy(&v, p, 4);
+                  w.i = v;
+                  break;
+              }
+              default:
+                std::memcpy(&w.i, p, 8);
+                break;
+            }
+        }
+        return w;
+    }
+
+    /** Store an element, narrowing as needed. */
+    void
+    store(mem::Addr addr, compiler::Word w, std::uint32_t elem_bytes,
+          bool is_float)
+    {
+        std::uint8_t *p = at(addr, elem_bytes);
+        if (is_float) {
+            if (elem_bytes == 4) {
+                const float f = static_cast<float>(w.f);
+                std::memcpy(p, &f, 4);
+            } else {
+                std::memcpy(p, &w.f, 8);
+            }
+        } else {
+            switch (elem_bytes) {
+              case 1: {
+                  const auto v = static_cast<std::int8_t>(w.i);
+                  std::memcpy(p, &v, 1);
+                  break;
+              }
+              case 2: {
+                  const auto v = static_cast<std::int16_t>(w.i);
+                  std::memcpy(p, &v, 2);
+                  break;
+              }
+              case 4: {
+                  const auto v = static_cast<std::int32_t>(w.i);
+                  std::memcpy(p, &v, 4);
+                  break;
+              }
+              default:
+                std::memcpy(p, &w.i, 8);
+                break;
+            }
+        }
+    }
+
+  private:
+    std::uint8_t *
+    at(mem::Addr addr, std::uint32_t elem_bytes)
+    {
+        DISTDA_ASSERT(addr >= _base &&
+                          addr + elem_bytes <= _base + _data.size(),
+                      "backend access 0x%llx outside arena",
+                      static_cast<unsigned long long>(addr));
+        return _data.data() + (addr - _base);
+    }
+
+    const std::uint8_t *
+    at(mem::Addr addr, std::uint32_t elem_bytes) const
+    {
+        return const_cast<MemBackend *>(this)->at(addr, elem_bytes);
+    }
+
+    mem::Addr _base;
+    std::vector<std::uint8_t> _data;
+};
+
+/** A typed view of one allocated data structure. */
+struct ArrayRef
+{
+    mem::Addr base = 0;
+    std::uint64_t count = 0;
+    std::uint32_t elemBytes = 8;
+    bool isFloat = false;
+    MemBackend *mem = nullptr;
+
+    mem::Addr addrOf(std::uint64_t i) const { return base + i * elemBytes; }
+
+    double
+    getF(std::uint64_t i) const
+    {
+        return mem->load(addrOf(i), elemBytes, true).f;
+    }
+
+    void
+    setF(std::uint64_t i, double v)
+    {
+        compiler::Word w;
+        w.f = v;
+        mem->store(addrOf(i), w, elemBytes, true);
+    }
+
+    std::int64_t
+    getI(std::uint64_t i) const
+    {
+        return mem->load(addrOf(i), elemBytes, false).i;
+    }
+
+    void
+    setI(std::uint64_t i, std::int64_t v)
+    {
+        compiler::Word w;
+        w.i = v;
+        mem->store(addrOf(i), w, elemBytes, false);
+    }
+
+    std::uint64_t sizeBytes() const { return count * elemBytes; }
+};
+
+} // namespace distda::engine
+
+#endif // DISTDA_ENGINE_BACKEND_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dataflow channels between decoupled partitions (§IV-B): bounded FIFOs
+ * of timestamped values realizing the cp_produce / cp_consume / cp_step
+ * producer-consumer semantics with credit-based backpressure — a
+ * producer blocks when the consumer-side buffer has no free credits,
+ * exactly like the access-unit buffers of Fig 4.
+ */
+
+#ifndef DISTDA_ENGINE_CHANNEL_HH
+#define DISTDA_ENGINE_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "src/compiler/dfg.hh"
+#include "src/sim/ticks.hh"
+
+namespace distda::engine
+{
+
+/** One in-flight operand. */
+struct ChannelItem
+{
+    compiler::Word value{};
+    sim::Tick readyAt = 0;
+};
+
+/** A bounded producer-consumer FIFO with arrival timestamps. */
+class Channel
+{
+  public:
+    Channel(std::size_t capacity, std::uint32_t elem_bytes,
+            bool control, int src_cluster, int dst_cluster)
+        : _capacity(capacity), _elemBytes(elem_bytes), _control(control),
+          _srcCluster(src_cluster), _dstCluster(dst_cluster)
+    {
+    }
+
+    std::size_t capacity() const { return _capacity; }
+    std::uint32_t elemBytes() const { return _elemBytes; }
+    bool isControl() const { return _control; }
+    int srcCluster() const { return _srcCluster; }
+    int dstCluster() const { return _dstCluster; }
+
+    bool full() const { return _items.size() >= _capacity; }
+    bool empty() const { return _items.empty(); }
+    std::size_t occupancy() const { return _items.size(); }
+
+    /** Producer finished; consumers see end-of-stream after drain. */
+    void close() { _closed = true; }
+    bool closed() const { return _closed; }
+    bool drained() const { return _closed && _items.empty(); }
+
+    /** Push a value that arrives at the consumer at @p ready_at. */
+    void
+    push(compiler::Word value, sim::Tick ready_at)
+    {
+        _items.push_back(ChannelItem{value, ready_at});
+        ++_pushed;
+    }
+
+    const ChannelItem &front() const { return _items.front(); }
+
+    void
+    pop()
+    {
+        _items.pop_front();
+        ++_popped;
+    }
+
+    std::uint64_t pushed() const { return _pushed; }
+    std::uint64_t popped() const { return _popped; }
+
+  private:
+    std::size_t _capacity;
+    std::uint32_t _elemBytes;
+    bool _control;
+    int _srcCluster;
+    int _dstCluster;
+    bool _closed = false;
+    std::deque<ChannelItem> _items;
+    std::uint64_t _pushed = 0;
+    std::uint64_t _popped = 0;
+};
+
+} // namespace distda::engine
+
+#endif // DISTDA_ENGINE_CHANNEL_HH

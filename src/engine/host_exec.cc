@@ -1,0 +1,272 @@
+#include "src/engine/host_exec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace distda::engine
+{
+
+using compiler::AccessDir;
+using compiler::Kernel;
+using compiler::Node;
+using compiler::NodeKind;
+using compiler::OpCode;
+using compiler::PatternKind;
+using compiler::Word;
+
+HostExecutor::HostExecutor(const Kernel &kernel, mem::Hierarchy *hier,
+                           MemBackend *backend,
+                           energy::Accountant *acct,
+                           const HostParams &params)
+    : _kernel(kernel), _hier(hier), _backend(backend), _acct(acct),
+      _params(params), _dep(compiler::classifyKernel(kernel)),
+      _topo(kernel.topoOrder())
+{
+}
+
+namespace
+{
+
+Word
+evalCompute(const Node &n, const std::vector<Word> &vals)
+{
+    const Word a = n.inputA != compiler::noNode ? vals[static_cast<std::size_t>(n.inputA)] : Word{};
+    const Word b = n.inputB != compiler::noNode ? vals[static_cast<std::size_t>(n.inputB)] : Word{};
+    const Word c = n.inputC != compiler::noNode ? vals[static_cast<std::size_t>(n.inputC)] : Word{};
+    Word r{};
+    switch (n.op) {
+      case OpCode::IAdd: r.i = a.i + b.i; break;
+      case OpCode::ISub: r.i = a.i - b.i; break;
+      case OpCode::IMul: r.i = a.i * b.i; break;
+      case OpCode::IDiv: r.i = a.i / b.i; break;
+      case OpCode::IRem: r.i = a.i % b.i; break;
+      case OpCode::IMin: r.i = std::min(a.i, b.i); break;
+      case OpCode::IMax: r.i = std::max(a.i, b.i); break;
+      case OpCode::IAbs: r.i = std::llabs(a.i); break;
+      case OpCode::IAnd: r.i = a.i & b.i; break;
+      case OpCode::IOr: r.i = a.i | b.i; break;
+      case OpCode::IXor: r.i = a.i ^ b.i; break;
+      case OpCode::IShl: r.i = a.i << b.i; break;
+      case OpCode::IShr: r.i = a.i >> b.i; break;
+      case OpCode::ICmpLt: r.i = a.i < b.i; break;
+      case OpCode::ICmpLe: r.i = a.i <= b.i; break;
+      case OpCode::ICmpEq: r.i = a.i == b.i; break;
+      case OpCode::ICmpNe: r.i = a.i != b.i; break;
+      case OpCode::FAdd: r.f = a.f + b.f; break;
+      case OpCode::FSub: r.f = a.f - b.f; break;
+      case OpCode::FMul: r.f = a.f * b.f; break;
+      case OpCode::FDiv: r.f = a.f / b.f; break;
+      case OpCode::FSqrt: r.f = std::sqrt(a.f); break;
+      case OpCode::FAbs: r.f = std::fabs(a.f); break;
+      case OpCode::FMin: r.f = std::min(a.f, b.f); break;
+      case OpCode::FMax: r.f = std::max(a.f, b.f); break;
+      case OpCode::FNeg: r.f = -a.f; break;
+      case OpCode::FCmpLt: r.i = a.f < b.f; break;
+      case OpCode::FCmpLe: r.i = a.f <= b.f; break;
+      case OpCode::FCmpEq: r.i = a.f == b.f; break;
+      case OpCode::Select: r = a.i ? b : c; break;
+      case OpCode::I2F: r.f = static_cast<double>(a.i); break;
+      case OpCode::F2I: r.i = static_cast<std::int64_t>(a.f); break;
+      case OpCode::Mov: r = a; break;
+      default: panic("bad opcode");
+    }
+    return r;
+}
+
+} // namespace
+
+HostRunResult
+HostExecutor::run(const std::vector<ArrayRef> &bindings,
+                  const std::vector<Word> &params, sim::Tick start_tick)
+{
+    DISTDA_ASSERT(bindings.size() == _kernel.objects.size(),
+                  "host run: binding count mismatch");
+    const sim::ClockDomain clock(_params.clockHz);
+    const sim::Tick cycle = clock.period();
+
+    std::int64_t trip = _kernel.loop.staticExtent;
+    if (_kernel.loop.extentParam >= 0)
+        trip = params[static_cast<std::size_t>(
+                          _kernel.loop.extentParam)]
+                   .i;
+
+    // Per-iteration static op count.
+    int ops = _params.loopOverheadOps;
+    for (const Node &n : _kernel.nodes) {
+        if (n.kind == NodeKind::Compute || n.kind == NodeKind::Access)
+            ++ops;
+    }
+    int mem_ops_static = 0;
+    for (const Node &n : _kernel.nodes) {
+        if (n.kind == NodeKind::Access)
+            ++mem_ops_static;
+    }
+    const double issue_cycles = std::max(
+        {static_cast<double>(ops) /
+             std::min<double>(_params.issueWidth, _params.sustainedIpc),
+         static_cast<double>(mem_ops_static) / _params.memPortsPerCycle,
+         static_cast<double>(_dep.carryChainCycles)});
+    const auto compute_ticks = static_cast<sim::Tick>(
+        issue_cycles * static_cast<double>(cycle));
+
+    // Load dependence depths (indirect chains serialize).
+    std::vector<int> depth(_kernel.nodes.size(), 0);
+    int num_loads = 0;
+    for (int id : _topo) {
+        const Node &n = _kernel.node(id);
+        int d = 0;
+        for (int in : n.valueInputs())
+            d = std::max(d, depth[static_cast<std::size_t>(in)]);
+        if (n.kind == NodeKind::Access && n.dir == AccessDir::Load) {
+            ++d;
+            ++num_loads;
+        }
+        depth[static_cast<std::size_t>(id)] = d;
+    }
+
+    const double mlp = std::min<double>(
+        _params.maxMlp, std::max(1, num_loads * 2));
+
+    HostRunResult result;
+    std::vector<Word> vals(_kernel.nodes.size(), Word{});
+    std::vector<Word> carry_state(_kernel.nodes.size(), Word{});
+    for (const Node &n : _kernel.nodes) {
+        if (n.kind == NodeKind::Carry)
+            carry_state[static_cast<std::size_t>(n.id)] = n.carryInit;
+    }
+
+    sim::Tick now = start_tick;
+    for (std::int64_t it = 0; it < trip; ++it) {
+        double load_lat_sum = 0.0;
+        double chain_lat = 0.0; // deepest dependent-load chain
+        std::vector<double> level_max(
+            static_cast<std::size_t>(_dep.loadChainDepth) + 1, 0.0);
+
+        for (int id : _topo) {
+            const Node &n = _kernel.node(id);
+            switch (n.kind) {
+              case NodeKind::IndVar:
+                vals[static_cast<std::size_t>(id)].i = it;
+                break;
+              case NodeKind::Param:
+                vals[static_cast<std::size_t>(id)] =
+                    params[static_cast<std::size_t>(n.paramIdx)];
+                break;
+              case NodeKind::ConstInt:
+              case NodeKind::ConstFloat:
+                vals[static_cast<std::size_t>(id)] = n.imm;
+                break;
+              case NodeKind::Carry:
+                vals[static_cast<std::size_t>(id)] =
+                    carry_state[static_cast<std::size_t>(id)];
+                break;
+              case NodeKind::Compute:
+                vals[static_cast<std::size_t>(id)] =
+                    evalCompute(n, vals);
+                break;
+              case NodeKind::Access: {
+                  const ArrayRef &arr =
+                      bindings[static_cast<std::size_t>(n.objId)];
+                  std::int64_t off = 0;
+                  if (n.pattern == PatternKind::Affine) {
+                      off = n.affine.constBase + n.affine.ivCoeff * it;
+                      for (std::size_t k = 0;
+                           k < n.affine.paramCoeffs.size(); ++k) {
+                          if (n.affine.paramCoeffs[k] != 0)
+                              off += n.affine.paramCoeffs[k] *
+                                     params[k].i;
+                      }
+                  } else {
+                      off = vals[static_cast<std::size_t>(n.addrInput)]
+                                .i;
+                  }
+                  if (n.dir == AccessDir::Load) {
+                      DISTDA_ASSERT(
+                          off >= 0 && static_cast<std::uint64_t>(off) <
+                                          arr.count,
+                          "host load out of bounds: obj %d off %lld",
+                          n.objId, static_cast<long long>(off));
+                      const mem::Addr addr = arr.addrOf(
+                          static_cast<std::uint64_t>(off));
+                      vals[static_cast<std::size_t>(id)] =
+                          _backend->load(addr, n.bits / 8,
+                                         n.elemIsFloat);
+                      const auto res = _hier->hostAccess(
+                          addr, n.bits / 8, false, now);
+                      load_lat_sum +=
+                          static_cast<double>(res.latency);
+                      const auto lvl = static_cast<std::size_t>(
+                          depth[static_cast<std::size_t>(id)]);
+                      if (lvl < level_max.size())
+                          level_max[lvl] = std::max(
+                              level_max[lvl],
+                              static_cast<double>(res.latency));
+                      result.memOps += 1.0;
+                  } else {
+                      const bool pred =
+                          n.predInput == compiler::noNode ||
+                          vals[static_cast<std::size_t>(n.predInput)]
+                                  .i != 0;
+                      if (pred) {
+                          DISTDA_ASSERT(
+                              off >= 0 &&
+                                  static_cast<std::uint64_t>(off) <
+                                      arr.count,
+                              "host store out of bounds: obj %d off "
+                              "%lld",
+                              n.objId, static_cast<long long>(off));
+                          const mem::Addr addr = arr.addrOf(
+                              static_cast<std::uint64_t>(off));
+                          _backend->store(
+                              addr,
+                              vals[static_cast<std::size_t>(
+                                  n.valueInput)],
+                              n.bits / 8, n.elemIsFloat);
+                          // Store latency is hidden by the store
+                          // buffer; traffic/energy still counted.
+                          _hier->hostAccess(addr, n.bits / 8, true,
+                                            now);
+                      }
+                      result.memOps += 1.0;
+                  }
+                  break;
+              }
+              default:
+                break;
+            }
+        }
+        // Latch carries.
+        for (const Node &n : _kernel.nodes) {
+            if (n.kind == NodeKind::Carry && n.carryUpdate != compiler::noNode)
+                carry_state[static_cast<std::size_t>(n.id)] =
+                    vals[static_cast<std::size_t>(n.carryUpdate)];
+        }
+
+        for (std::size_t lvl = 2; lvl < level_max.size(); ++lvl)
+            chain_lat += level_max[lvl];
+
+        sim::Tick mem_ticks;
+        if (_dep.hasMemoryRecurrence) {
+            // Pointer chasing: the next address needs this load.
+            mem_ticks = static_cast<sim::Tick>(load_lat_sum);
+        } else {
+            mem_ticks = static_cast<sim::Tick>(
+                chain_lat + (load_lat_sum - chain_lat) / mlp);
+        }
+        now += std::max(compute_ticks, mem_ticks);
+        result.insts += ops;
+        if (_acct)
+            _acct->addEvents(energy::Component::OoOCore, ops);
+    }
+
+    for (int node : _kernel.resultCarries) {
+        result.results.push_back(
+            {node, carry_state[static_cast<std::size_t>(node)]});
+    }
+    result.endTick = now;
+    return result;
+}
+
+} // namespace distda::engine

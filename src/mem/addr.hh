@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Physical address type and cache-line helpers.
+ */
+
+#ifndef DISTDA_MEM_ADDR_HH
+#define DISTDA_MEM_ADDR_HH
+
+#include <cstdint>
+
+namespace distda::mem
+{
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** Cache line size used throughout the hierarchy. */
+constexpr std::uint32_t lineBytes = 64;
+
+/** Align @p a down to its cache line. */
+constexpr Addr lineAlign(Addr a) { return a & ~static_cast<Addr>(lineBytes - 1); }
+
+/** Line number containing @p a. */
+constexpr Addr lineNum(Addr a) { return a / lineBytes; }
+
+/** Number of lines covering [addr, addr+size). */
+constexpr std::uint64_t
+linesCovering(Addr addr, std::uint64_t size)
+{
+    if (size == 0)
+        return 0;
+    return lineNum(addr + size - 1) - lineNum(addr) + 1;
+}
+
+} // namespace distda::mem
+
+#endif // DISTDA_MEM_ADDR_HH

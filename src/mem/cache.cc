@@ -1,0 +1,241 @@
+#include "src/mem/cache.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace distda::mem
+{
+
+namespace
+{
+constexpr std::size_t strideTableEntries = 16;
+} // namespace
+
+Cache::Cache(const CacheParams &params, energy::Accountant *acct,
+             Downstream downstream)
+    : _params(params), _acct(acct), _downstream(std::move(downstream)),
+      _clock(params.clockHz),
+      _numSets(params.sizeBytes / lineBytes /
+               static_cast<std::uint64_t>(params.assoc)),
+      _lines(_numSets * static_cast<std::size_t>(params.assoc)),
+      _mshrFree(static_cast<std::size_t>(std::max(params.mshrs, 1)), 0),
+      _strideTable(strideTableEntries)
+{
+    if (_numSets == 0)
+        fatal("cache '%s': size %llu too small for assoc %d",
+              params.name.c_str(),
+              static_cast<unsigned long long>(params.sizeBytes),
+              params.assoc);
+    if (!_downstream)
+        fatal("cache '%s' has no downstream", params.name.c_str());
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    const Addr line = lineNum(line_addr);
+    if (_params.setHash) {
+        // Fibonacci hashing: high product bits mix every line bit, so
+        // page-interleaved banks use all their sets.
+        const Addr h = line * 0x9e3779b97f4a7c15ULL;
+        return static_cast<std::size_t>(h >> 32) % _numSets;
+    }
+    return static_cast<std::size_t>(line) % _numSets;
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    const std::size_t set = setIndex(line_addr);
+    const Addr tag = lineNum(line_addr);
+    for (int w = 0; w < _params.assoc; ++w) {
+        Line &line = _lines[set * _params.assoc + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(lineAlign(addr)) != nullptr;
+}
+
+CacheResult
+Cache::access(Addr addr, std::uint32_t size, bool write, sim::Tick now)
+{
+    const Addr first = lineAlign(addr);
+    const std::uint64_t nlines = linesCovering(addr, std::max(size, 1u));
+
+    CacheResult total = accessLine(first, write, now);
+    // Subsequent lines of a multi-line request are pipelined; they
+    // extend latency only past the first line's completion.
+    for (std::uint64_t i = 1; i < nlines; ++i) {
+        CacheResult r =
+            accessLine(first + i * lineBytes, write, now + total.latency);
+        total.latency += r.latency;
+        total.hit = total.hit && r.hit;
+    }
+    return total;
+}
+
+CacheResult
+Cache::accessLine(Addr line_addr, bool write, sim::Tick now)
+{
+    _accesses += 1.0;
+    if (_acct)
+        _acct->addEvents(_params.component, 1.0);
+
+    const sim::Tick tag_lat = _clock.cyclesToTicks(_params.latencyCycles);
+
+    if (Line *line = findLine(line_addr)) {
+        _hits += 1.0;
+        line->lru = ++_lruTick;
+        if (write)
+            line->dirty = _params.writeback;
+        if (!write && _params.stridePrefetch)
+            prefetch(line_addr, now);
+        return CacheResult{true, tag_lat};
+    }
+
+    _misses += 1.0;
+
+    // Occupy the earliest-free MSHR; queue when all busy.
+    auto slot = std::min_element(_mshrFree.begin(), _mshrFree.end());
+    const sim::Tick start = std::max(now + tag_lat, *slot);
+    const sim::Tick fill_lat = fill(line_addr, write && _params.writeback,
+                                    start, true);
+    const sim::Tick done = start + fill_lat;
+    *slot = done;
+
+    if (!write && _params.stridePrefetch)
+        prefetch(line_addr, now);
+
+    return CacheResult{false, done - now};
+}
+
+sim::Tick
+Cache::fill(Addr line_addr, bool dirty, sim::Tick now, bool count_demand)
+{
+    (void)count_demand;
+    const std::size_t set = setIndex(line_addr);
+
+    // Victim selection: invalid way first, then LRU.
+    Line *victim = nullptr;
+    for (int w = 0; w < _params.assoc; ++w) {
+        Line &line = _lines[set * _params.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+
+    if (victim->valid && victim->dirty) {
+        _writebacks += 1.0;
+        // Writeback is off the critical path; latency discarded.
+        _downstream(victim->tag * lineBytes, true, now);
+    }
+
+    const sim::Tick miss_lat = _downstream(line_addr, false, now);
+
+    victim->tag = lineNum(line_addr);
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lru = ++_lruTick;
+
+    return miss_lat;
+}
+
+void
+Cache::prefetch(Addr line_addr, sim::Tick now)
+{
+    const std::uint64_t region = line_addr >> 12;
+    const auto line = static_cast<std::int64_t>(lineNum(line_addr));
+    StrideEntry &entry = _strideTable[region % _strideTable.size()];
+
+    if (entry.region != region) {
+        entry.region = region;
+        entry.lastLine = line;
+        entry.stride = 0;
+        entry.confidence = 0;
+        return;
+    }
+
+    const std::int64_t delta = line - entry.lastLine;
+    entry.lastLine = line;
+    if (delta == 0)
+        return;
+    if (delta == entry.stride) {
+        entry.confidence = std::min(entry.confidence + 1, 4);
+    } else {
+        entry.stride = delta;
+        entry.confidence = 0;
+        return;
+    }
+
+    if (entry.confidence < 2)
+        return;
+
+    for (int d = 1; d <= _params.prefetchDegree; ++d) {
+        const std::int64_t target = line + entry.stride * d;
+        if (target < 0)
+            continue;
+        const Addr target_addr = static_cast<Addr>(target) * lineBytes;
+        if (findLine(target_addr))
+            continue;
+        _prefetches += 1.0;
+        if (_acct)
+            _acct->addEvents(_params.component, 1.0);
+        // Prefetch fills are off the demand critical path.
+        fill(target_addr, false, now, false);
+    }
+}
+
+void
+Cache::flush(sim::Tick now)
+{
+    for (Line &line : _lines) {
+        if (line.valid && line.dirty) {
+            _writebacks += 1.0;
+            _downstream(line.tag * lineBytes, true, now);
+        }
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void
+Cache::exportStats(stats::Group &group) const
+{
+    const std::string p = _params.name + ".";
+    group.add(p + "accesses") = _accesses;
+    group.add(p + "hits") = _hits;
+    group.add(p + "misses") = _misses;
+    group.add(p + "writebacks") = _writebacks;
+    group.add(p + "prefetches") = _prefetches;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : _lines)
+        line = Line{};
+    std::fill(_mshrFree.begin(), _mshrFree.end(), 0);
+    for (StrideEntry &e : _strideTable)
+        e = StrideEntry{};
+    _lruTick = 0;
+    _accesses = _hits = _misses = _writebacks = 0;
+    _prefetches = _prefetchHits = 0;
+}
+
+} // namespace distda::mem

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Set-associative write-back cache with LRU replacement, a finite-MSHR
+ * occupancy model and an optional stride prefetcher (Table III gives
+ * the L2 a stride prefetcher).
+ *
+ * The cache is functional-with-timing: tags are tracked exactly so hit
+ * and miss counts (and therefore data-movement numbers) are real, and
+ * latency is accumulated along the walk through lower levels. MSHRs
+ * bound the memory-level parallelism: a miss occupies the
+ * earliest-free MSHR and queues when all are busy.
+ */
+
+#ifndef DISTDA_MEM_CACHE_HH
+#define DISTDA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/energy/energy_model.hh"
+#include "src/mem/addr.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/ticks.hh"
+
+namespace distda::mem
+{
+
+/** Static configuration for one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    int assoc = 8;
+    sim::Cycles latencyCycles = 2;
+    int mshrs = 8;
+    std::uint64_t clockHz = 2'000'000'000ULL;
+    bool writeback = true;
+    bool stridePrefetch = false;
+    int prefetchDegree = 2;
+    /**
+     * XOR-fold high line bits into the set index. NUCA banks need
+     * this: cluster selection consumes page bits, so without hashing
+     * only a fraction of a bank's sets would ever be used.
+     */
+    bool setHash = false;
+    energy::Component component = energy::Component::L1;
+};
+
+/** Outcome of a single cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    sim::Tick latency = 0;
+};
+
+/**
+ * One cache level. Lower levels are reached through a downstream
+ * callback so the same class serves private L1/L2, NUCA L3 banks, the
+ * Mono-CA private cache and the ACP front-ends.
+ */
+class Cache
+{
+  public:
+    /**
+     * Downstream line-fill handler: (line_addr, is_write, now) ->
+     * latency. Writebacks call it with is_write=true; the returned
+     * latency of writebacks is not added to the critical path.
+     */
+    using Downstream =
+        std::function<sim::Tick(Addr, bool, sim::Tick)>;
+
+    Cache(const CacheParams &params, energy::Accountant *acct,
+          Downstream downstream);
+
+    const CacheParams &params() const { return _params; }
+
+    /**
+     * Access @p size bytes at @p addr. Multi-line requests walk each
+     * covered line; the reported latency is the first-word latency plus
+     * line-pipelined continuation.
+     */
+    CacheResult access(Addr addr, std::uint32_t size, bool write,
+                       sim::Tick now);
+
+    /** True when the line containing @p addr is resident. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate every line (accelerator/host scope handoff). */
+    void flush(sim::Tick now);
+
+    double accesses() const { return _accesses; }
+    double hits() const { return _hits; }
+    double misses() const { return _misses; }
+    double writebacks() const { return _writebacks; }
+    double prefetchesIssued() const { return _prefetches; }
+
+    void exportStats(stats::Group &group) const;
+    void reset();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    /** Access one line; returns (hit, latency). */
+    CacheResult accessLine(Addr line_addr, bool write, sim::Tick now);
+
+    /** Fill @p line_addr, evicting as needed; returns fill latency. */
+    sim::Tick fill(Addr line_addr, bool dirty, sim::Tick now,
+                   bool count_demand);
+
+    std::size_t setIndex(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+
+    /** Train the stride prefetcher and issue prefetch fills. */
+    void prefetch(Addr line_addr, sim::Tick now);
+
+    CacheParams _params;
+    energy::Accountant *_acct;
+    Downstream _downstream;
+    sim::ClockDomain _clock;
+    std::size_t _numSets;
+    std::vector<Line> _lines;          ///< numSets * assoc entries
+    std::vector<sim::Tick> _mshrFree;  ///< per-MSHR next-free tick
+    std::uint64_t _lruTick = 0;
+
+    struct StrideEntry
+    {
+        std::uint64_t region = ~0ULL;
+        std::int64_t lastLine = 0;
+        std::int64_t stride = 0;
+        int confidence = 0;
+    };
+    std::vector<StrideEntry> _strideTable;
+
+    double _accesses = 0, _hits = 0, _misses = 0, _writebacks = 0;
+    double _prefetches = 0, _prefetchHits = 0;
+};
+
+} // namespace distda::mem
+
+#endif // DISTDA_MEM_CACHE_HH

@@ -1,0 +1,124 @@
+#include "src/mem/hierarchy.hh"
+
+#include "src/sim/logging.hh"
+
+namespace distda::mem
+{
+
+HierarchyParams::HierarchyParams()
+{
+    l1.name = "l1d";
+    l1.sizeBytes = 32 * 1024;
+    l1.assoc = 8;
+    l1.latencyCycles = 2;
+    l1.mshrs = 8;
+    l1.component = energy::Component::L1;
+
+    l2.name = "l2";
+    l2.sizeBytes = 128 * 1024;
+    l2.assoc = 16;
+    l2.latencyCycles = 4;
+    l2.mshrs = 16;
+    l2.stridePrefetch = true;
+    l2.component = energy::Component::L2;
+
+    acp.name = "acp";
+    acp.sizeBytes = 1024;
+    acp.assoc = 1;
+    acp.latencyCycles = 1;
+    // The ACP is a request port fronting a 64-MSHR L3 bank; its own
+    // queue is deep enough not to throttle the fill FSMs.
+    acp.mshrs = 32;
+    acp.component = energy::Component::Acp;
+}
+
+Hierarchy::Hierarchy(const HierarchyParams &params,
+                     energy::Accountant *acct)
+{
+    _mesh = std::make_unique<noc::Mesh>(params.mesh, acct);
+    _dram = std::make_unique<Dram>(params.dram, acct);
+    _l3 = std::make_unique<NucaL3>(params.l3, _mesh.get(), _dram.get(),
+                                   acct);
+
+    const int host = _mesh->hostNode();
+    _l2 = std::make_unique<Cache>(
+        params.l2, acct, [this, host](Addr a, bool w, sim::Tick t) {
+            return _l3->access(a, lineBytes, w, host, t,
+                               TrafficTag{noc::TrafficClass::Ctrl,
+                                          noc::TrafficClass::Data})
+                .latency;
+        });
+    _l1 = std::make_unique<Cache>(
+        params.l1, acct, [this](Addr a, bool w, sim::Tick t) {
+            return _l2->access(a, lineBytes, w, t).latency;
+        });
+
+    for (int c = 0; c < params.l3.clusters; ++c) {
+        CacheParams ap = params.acp;
+        ap.name = "acp" + std::to_string(c);
+        _acps.push_back(std::make_unique<Cache>(
+            ap, acct, [this, c](Addr a, bool w, sim::Tick t) {
+                return _l3->access(a, lineBytes, w, c, t,
+                                   TrafficTag{noc::TrafficClass::AccCtrl,
+                                              noc::TrafficClass::AccData})
+                    .latency;
+            }));
+    }
+}
+
+CacheResult
+Hierarchy::hostAccess(Addr addr, std::uint32_t size, bool write,
+                      sim::Tick now)
+{
+    return _l1->access(addr, size, write, now);
+}
+
+CacheResult
+Hierarchy::accelAccess(Addr addr, std::uint32_t size, bool write,
+                       int cluster, sim::Tick now)
+{
+    DISTDA_ASSERT(cluster >= 0 &&
+                      cluster < static_cast<int>(_acps.size()),
+                  "accel access from bad cluster %d", cluster);
+    return _acps[static_cast<std::size_t>(cluster)]->access(addr, size,
+                                                            write, now);
+}
+
+double
+Hierarchy::cacheAccesses() const
+{
+    double total = _l1->accesses() + _l2->accesses() +
+                   _l3->totalAccesses();
+    for (const auto &a : _acps)
+        total += a->accesses();
+    return total;
+}
+
+void
+Hierarchy::exportStats(stats::Group &group) const
+{
+    _l1->exportStats(group);
+    _l2->exportStats(group);
+    _l3->exportStats(group);
+    _dram->exportStats(group);
+    _mesh->exportStats(group);
+    double acp_acc = 0.0;
+    for (const auto &a : _acps)
+        acp_acc += a->accesses();
+    group.add("acp.accesses") = acp_acc;
+    group.add("cache_accesses_total") = cacheAccesses();
+}
+
+void
+Hierarchy::reset()
+{
+    _l1->reset();
+    _l2->reset();
+    _l3->reset();
+    _dram->reset();
+    _mesh->reset();
+    for (auto &a : _acps)
+        a->reset();
+}
+
+} // namespace distda::mem

@@ -1,0 +1,174 @@
+#include "src/noc/mesh.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "src/sim/logging.hh"
+
+namespace distda::noc
+{
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::Ctrl: return "ctrl";
+      case TrafficClass::Data: return "data";
+      case TrafficClass::AccCtrl: return "acc_ctrl";
+      case TrafficClass::AccData: return "acc_data";
+      default: panic("bad traffic class %d", static_cast<int>(c));
+    }
+}
+
+Mesh::Mesh(const MeshParams &params, energy::Accountant *acct)
+    : _params(params), _acct(acct), _clock(params.clockHz),
+      _routerBusyUntil(static_cast<std::size_t>(numNodes()), 0)
+{
+    if (params.cols < 1 || params.rows < 1)
+        fatal("mesh dimensions must be positive");
+    if (params.hostNode < 0 || params.hostNode >= numNodes())
+        fatal("host node %d outside mesh", params.hostNode);
+}
+
+int
+Mesh::hops(int src, int dst) const
+{
+    DISTDA_ASSERT(src >= 0 && src < numNodes(), "src node %d", src);
+    DISTDA_ASSERT(dst >= 0 && dst < numNodes(), "dst node %d", dst);
+    return std::abs(nodeX(src) - nodeX(dst)) +
+           std::abs(nodeY(src) - nodeY(dst));
+}
+
+TransferResult
+Mesh::transfer(int src, int dst, std::uint32_t bytes, TrafficClass cls,
+               sim::Tick now)
+{
+    const int nhops = hops(src, dst);
+    const auto idx = static_cast<std::size_t>(cls);
+    _bytes[idx] += bytes;
+    _packets[idx] += 1.0;
+
+    if (nhops == 0)
+        return TransferResult{0, 0};
+
+    // Serialization: the packet occupies each traversed link for
+    // ceil(bytes / linkBytes) NoC cycles.
+    const sim::Cycles ser_cycles =
+        (bytes + _params.linkBytes - 1) / _params.linkBytes;
+    const sim::Tick ser = _clock.cyclesToTicks(std::max<sim::Cycles>(
+        ser_cycles, 1));
+
+    // Light contention model: injection waits for the source and
+    // destination routers; traversal then occupies them.
+    sim::Tick start = std::max(
+        now, std::max(_routerBusyUntil[static_cast<std::size_t>(src)],
+                      _routerBusyUntil[static_cast<std::size_t>(dst)]));
+    const sim::Tick head_latency = _clock.cyclesToTicks(
+        static_cast<sim::Cycles>(nhops) * _params.hopCycles);
+    const sim::Tick done = start + head_latency + ser;
+
+    // Cut-through: a router is occupied only while the packet's flits
+    // stream through it; the head latency is pipeline delay.
+    _routerBusyUntil[static_cast<std::size_t>(src)] = start + ser;
+    _routerBusyUntil[static_cast<std::size_t>(dst)] = start + ser;
+
+    const double flits =
+        static_cast<double>((bytes + _params.flitBytes - 1) /
+                            _params.flitBytes);
+    _totalHopFlits += flits * nhops;
+    if (_acct)
+        _acct->addEvents(energy::Component::Noc, flits * nhops);
+
+    return TransferResult{done - now, nhops};
+}
+
+TransferResult
+Mesh::multicast(int src, const std::vector<int> &dsts, std::uint32_t bytes,
+                TrafficClass cls, sim::Tick now)
+{
+    (void)now;
+    if (dsts.empty())
+        return TransferResult{0, 0};
+
+    // Build the set of unique links along the XY paths; energy and
+    // bytes are charged once per unique link (tree forwarding).
+    std::set<std::pair<int, int>> links;
+    int max_hops = 0;
+    for (int dst : dsts) {
+        max_hops = std::max(max_hops, hops(src, dst));
+        int x = nodeX(src), y = nodeY(src);
+        const int tx = nodeX(dst), ty = nodeY(dst);
+        int cur = src;
+        while (x != tx || y != ty) {
+            if (x != tx)
+                x += (tx > x) ? 1 : -1;
+            else
+                y += (ty > y) ? 1 : -1;
+            int nxt = y * _params.cols + x;
+            links.insert({cur, nxt});
+            cur = nxt;
+        }
+    }
+
+    const auto idx = static_cast<std::size_t>(cls);
+    _bytes[idx] += static_cast<double>(bytes) * links.size() /
+                   std::max<std::size_t>(hops(src, dsts.front()), 1);
+    _packets[idx] += 1.0;
+
+    const double flits = static_cast<double>(
+        (bytes + _params.flitBytes - 1) / _params.flitBytes);
+    _totalHopFlits += flits * static_cast<double>(links.size());
+    if (_acct) {
+        _acct->addEvents(energy::Component::Noc,
+                         flits * static_cast<double>(links.size()));
+    }
+
+    const sim::Cycles ser_cycles =
+        (bytes + _params.linkBytes - 1) / _params.linkBytes;
+    const sim::Tick latency = _clock.cyclesToTicks(
+        static_cast<sim::Cycles>(max_hops) * _params.hopCycles +
+        std::max<sim::Cycles>(ser_cycles, 1));
+    return TransferResult{latency, max_hops};
+}
+
+double
+Mesh::bytesInClass(TrafficClass cls) const
+{
+    return _bytes[static_cast<std::size_t>(cls)];
+}
+
+double
+Mesh::totalBytes() const
+{
+    double total = 0.0;
+    for (double b : _bytes)
+        total += b;
+    return total;
+}
+
+void
+Mesh::exportStats(stats::Group &group) const
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TrafficClass::NumClasses); ++i) {
+        auto cls = static_cast<TrafficClass>(i);
+        group.add(std::string("noc_bytes.") + trafficClassName(cls)) =
+            _bytes[i];
+        group.add(std::string("noc_packets.") + trafficClassName(cls)) =
+            _packets[i];
+    }
+    group.add("noc_bytes.total") = totalBytes();
+    group.add("noc_hop_flits") = _totalHopFlits;
+}
+
+void
+Mesh::reset()
+{
+    _bytes.fill(0.0);
+    _packets.fill(0.0);
+    _totalHopFlits = 0.0;
+    std::fill(_routerBusyUntil.begin(), _routerBusyUntil.end(), 0);
+}
+
+} // namespace distda::noc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * 2D mesh network-on-chip connecting the eight L3 clusters (Table III:
+ * "8 clusters (4 banks per cluster) on mesh NoC").
+ *
+ * The mesh uses XY dimension-order routing, a light per-router
+ * contention model, and credit-based backpressure is realized at the
+ * architectural level by the access-unit buffers (producers only send
+ * when consumer buffer credits exist; see Channel in the engine).
+ *
+ * Traffic is accounted in the four categories of Figure 10:
+ * host-initiated control (ctrl) and data (data), and inter-accelerator
+ * control (acc_ctrl) and data (acc_data).
+ */
+
+#ifndef DISTDA_NOC_MESH_HH
+#define DISTDA_NOC_MESH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/energy/energy_model.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/ticks.hh"
+
+namespace distda::noc
+{
+
+/** Figure 10 traffic categories. */
+enum class TrafficClass : std::uint8_t
+{
+    Ctrl,     ///< host-initiated request/response control
+    Data,     ///< host-initiated data movement
+    AccCtrl,  ///< inter-accelerator control (tokens, credits, bounds)
+    AccData,  ///< inter-accelerator operand dataflow
+    NumClasses
+};
+
+const char *trafficClassName(TrafficClass c);
+
+/** Mesh configuration. */
+struct MeshParams
+{
+    int cols = 4;             ///< mesh X dimension
+    int rows = 2;             ///< mesh Y dimension
+    int hostNode = 0;         ///< cluster the host attaches to
+    sim::Cycles hopCycles = 2;   ///< router + link traversal per hop
+    std::uint32_t linkBytes = 16; ///< bytes moved per NoC cycle per link
+    std::uint64_t clockHz = 2'000'000'000ULL; ///< NoC clock
+    std::uint32_t flitBytes = 8;  ///< flit width for energy accounting
+};
+
+/** Result of injecting one transfer. */
+struct TransferResult
+{
+    sim::Tick latency = 0;  ///< injection-to-delivery latency
+    int hops = 0;           ///< hop count (0 for local delivery)
+};
+
+/**
+ * The mesh NoC. Transfers are modeled as cut-through packets: latency =
+ * hops * hopCycles + serialization, plus queueing when routers along the
+ * path are busy. Bytes and energy are charged per traffic class.
+ */
+class Mesh
+{
+  public:
+    Mesh(const MeshParams &params, energy::Accountant *acct);
+
+    const MeshParams &params() const { return _params; }
+    int numNodes() const { return _params.cols * _params.rows; }
+    int hostNode() const { return _params.hostNode; }
+
+    /** XY-routing hop count between two nodes. */
+    int hops(int src, int dst) const;
+
+    /**
+     * Inject a transfer of @p bytes from @p src to @p dst at @p now.
+     * Charges bytes/energy and returns delivery latency.
+     */
+    TransferResult transfer(int src, int dst, std::uint32_t bytes,
+                            TrafficClass cls, sim::Tick now);
+
+    /**
+     * Multicast @p bytes from @p src to every node in @p dsts; the NoC
+     * forwards along a shared path where possible so energy is charged
+     * per unique link, not per destination.
+     */
+    TransferResult multicast(int src, const std::vector<int> &dsts,
+                             std::uint32_t bytes, TrafficClass cls,
+                             sim::Tick now);
+
+    /** Total bytes injected in one traffic class. */
+    double bytesInClass(TrafficClass cls) const;
+
+    /** Total bytes injected across all classes. */
+    double totalBytes() const;
+
+    /** Total flit-hops traversed (bytes x distance proxy). */
+    double hopFlits() const { return _totalHopFlits; }
+
+    /** Export traffic counters into @p group. */
+    void exportStats(stats::Group &group) const;
+
+    /** Zero all counters and busy state. */
+    void reset();
+
+  private:
+    int nodeX(int node) const { return node % _params.cols; }
+    int nodeY(int node) const { return node / _params.cols; }
+
+    MeshParams _params;
+    energy::Accountant *_acct;
+    sim::ClockDomain _clock;
+    std::vector<sim::Tick> _routerBusyUntil;
+    std::array<double,
+               static_cast<std::size_t>(TrafficClass::NumClasses)>
+        _bytes{};
+    std::array<double,
+               static_cast<std::size_t>(TrafficClass::NumClasses)>
+        _packets{};
+    double _totalHopFlits = 0.0;
+};
+
+} // namespace distda::noc
+
+#endif // DISTDA_NOC_MESH_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The offload runtime (§V-B execution flow): at the first invocation it
+ * identifies home nodes, allocates and configures the accelerator
+ * resources through the Table II intrinsics; every invocation transfers
+ * scalar parameters (cp_set_rf), launches the partitions (cp_run),
+ * blocks on the done token (cp_consume) and reads back result registers
+ * (cp_load_rf). Resources stay allocated across outer-loop iterations.
+ */
+
+#ifndef DISTDA_OFFLOAD_RUNTIME_HH
+#define DISTDA_OFFLOAD_RUNTIME_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/engine.hh"
+#include "src/offload/interface.hh"
+
+namespace distda::offload
+{
+
+/** Outcome of one offloaded invocation, host-visible. */
+struct OffloadRunResult
+{
+    sim::Tick endTick = 0;
+    std::vector<std::pair<int, compiler::Word>> results;
+    double accelInsts = 0.0;
+    double memOps = 0.0;
+};
+
+/** Drives one compiled plan through the interface, per invocation. */
+class OffloadRuntime
+{
+  public:
+    OffloadRuntime(const compiler::OffloadPlan &plan,
+                   const engine::EngineConfig &config,
+                   mem::Hierarchy *hier, engine::MemBackend *backend,
+                   energy::Accountant *acct);
+
+    OffloadRunResult invoke(const std::vector<engine::ArrayRef> &bindings,
+                            const std::vector<compiler::Word> &params,
+                            sim::Tick start_tick);
+
+    const accel::AccessStats &accessStats() const
+    {
+        return _engine.accessStats();
+    }
+
+    const engine::DataflowEngine &engine() const { return _engine; }
+
+    double mmioOps() const { return _iface.mmioOps(); }
+
+    /** Deallocate accelerator resources (end of the offload's reuse). */
+    void release();
+
+  private:
+    const compiler::OffloadPlan &_plan;
+    engine::DataflowEngine _engine;
+    CoprocessorInterface _iface;
+    mem::Hierarchy *_hier;
+    bool _allocated = false;
+    std::vector<int> _bufIds;
+};
+
+} // namespace distda::offload
+
+#endif // DISTDA_OFFLOAD_RUNTIME_HH

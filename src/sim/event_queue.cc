@@ -1,0 +1,58 @@
+#include "src/sim/event_queue.hh"
+
+#include "src/sim/logging.hh"
+
+namespace distda::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < _curTick) {
+        panic("event scheduled in the past (when=%llu cur=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    }
+    _events.push(Event{when, _nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (_events.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast as the
+    // element is popped immediately afterwards.
+    Event ev = std::move(const_cast<Event &>(_events.top()));
+    _events.pop();
+    _curTick = ev.when;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!_events.empty() && _events.top().when <= limit)
+        step();
+    if (_curTick < limit)
+        _curTick = limit;
+}
+
+void
+EventQueue::reset()
+{
+    while (!_events.empty())
+        _events.pop();
+    _curTick = 0;
+    _nextSeq = 0;
+}
+
+} // namespace distda::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A discrete-event queue in the gem5 style: callbacks scheduled at
+ * absolute ticks, executed in (tick, insertion-order) order.
+ */
+
+#ifndef DISTDA_SIM_EVENT_QUEUE_HH
+#define DISTDA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/ticks.hh"
+
+namespace distda::sim
+{
+
+/**
+ * Priority-queue based event queue. Events at equal ticks fire in
+ * insertion order (FIFO), which keeps actor scheduling deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return _events.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(_curTick + delta, std::move(cb));
+    }
+
+    /**
+     * Run a single event, advancing time to it.
+     * @return false when the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /** Run events up to and including tick @p limit. */
+    void runUntil(Tick limit);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+};
+
+} // namespace distda::sim
+
+#endif // DISTDA_SIM_EVENT_QUEUE_HH

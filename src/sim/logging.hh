@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 style.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user errors (bad configuration) and exits with
+ * an error code; warn()/inform() report conditions without stopping the
+ * simulation.
+ */
+
+#ifndef DISTDA_SIM_LOGGING_HH
+#define DISTDA_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace distda
+{
+
+/** Printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message: something that should never happen happened. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with a message: the simulation cannot continue (user error). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (quiet mode for benches). */
+void setInformEnabled(bool enabled);
+
+/**
+ * Assert-like invariant check that survives NDEBUG builds.
+ * Calls panic() with the condition text when cond is false.
+ */
+#define DISTDA_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::distda::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                            __FILE__, __LINE__,                           \
+                            ::distda::strfmt(__VA_ARGS__).c_str());       \
+        }                                                                 \
+    } while (0)
+
+} // namespace distda
+
+#endif // DISTDA_SIM_LOGGING_HH

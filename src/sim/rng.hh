@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic xorshift64* random number generator so that workloads
+ * and datasets are reproducible across runs and platforms.
+ */
+
+#ifndef DISTDA_SIM_RNG_HH
+#define DISTDA_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace distda::sim
+{
+
+/** Small, fast, deterministic RNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : _state(seed ? seed : 1)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = _state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        _state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace distda::sim
+
+#endif // DISTDA_SIM_RNG_HH

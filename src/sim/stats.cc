@@ -1,0 +1,62 @@
+#include "src/sim/stats.hh"
+
+#include "src/sim/logging.hh"
+
+namespace distda::stats
+{
+
+Scalar &
+Group::add(const std::string &stat_name)
+{
+    return _scalars[stat_name];
+}
+
+const Scalar &
+Group::get(const std::string &stat_name) const
+{
+    auto it = _scalars.find(stat_name);
+    if (it == _scalars.end())
+        panic("stat '%s' not found in group '%s'", stat_name.c_str(),
+              _name.c_str());
+    return it->second;
+}
+
+double
+Group::value(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        return get(path).value();
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const Group *child : _children) {
+        if (child->name() == head)
+            return child->value(rest);
+    }
+    panic("stat group '%s' has no child '%s'", _name.c_str(), head.c_str());
+}
+
+std::vector<std::pair<std::string, double>>
+Group::dump() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &[k, v] : _scalars)
+        out.emplace_back(_name + "." + k, v.value());
+    for (const Group *child : _children) {
+        for (auto &[k, v] : child->dump())
+            out.emplace_back(_name + "." + k, v);
+    }
+    return out;
+}
+
+void
+Group::resetAll()
+{
+    for (auto &[k, v] : _scalars)
+        v.reset();
+    for (Group *child : _children)
+        child->resetAll();
+}
+
+} // namespace distda::stats

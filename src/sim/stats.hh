@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A lightweight named-statistics framework. Components own a
+ * stats::Group and register scalar counters with it; drivers collect
+ * values by name for the table/figure reports.
+ */
+
+#ifndef DISTDA_SIM_STATS_HH
+#define DISTDA_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace distda::stats
+{
+
+/** A double-valued scalar statistic (counter or accumulator). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * A named collection of scalar statistics. Groups nest: a parent group
+ * sees child statistics with dotted names.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Register a scalar under @p stat_name; returns a reference. */
+    Scalar &add(const std::string &stat_name);
+
+    /** Attach @p child so its stats appear as "<child>.<stat>". */
+    void addChild(Group *child) { _children.push_back(child); }
+
+    /** Look up a scalar by local name; panics when missing. */
+    const Scalar &get(const std::string &stat_name) const;
+
+    /** Value lookup that walks children with dotted paths. */
+    double value(const std::string &path) const;
+
+    /** Flatten this group and children into (name, value) pairs. */
+    std::vector<std::pair<std::string, double>> dump() const;
+
+    /** Reset every scalar in this group and its children. */
+    void resetAll();
+
+  private:
+    std::string _name;
+    std::map<std::string, Scalar> _scalars;
+    std::vector<Group *> _children;
+};
+
+} // namespace distda::stats
+
+#endif // DISTDA_SIM_STATS_HH

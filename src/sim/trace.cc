@@ -1,0 +1,93 @@
+#include "src/sim/trace.hh"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/sim/logging.hh"
+
+namespace distda::trace
+{
+
+namespace
+{
+
+std::array<bool, static_cast<std::size_t>(Flag::NumFlags)> flags{};
+bool envParsed = false;
+
+} // namespace
+
+const char *
+flagName(Flag f)
+{
+    switch (f) {
+      case Flag::Stream: return "Stream";
+      case Flag::Channel: return "Channel";
+      case Flag::Actor: return "Actor";
+      case Flag::Runtime: return "Runtime";
+      case Flag::Noc: return "Noc";
+      case Flag::Cache: return "Cache";
+      default: return "?";
+    }
+}
+
+void
+setEnabled(Flag f, bool enabled_flag)
+{
+    flags[static_cast<std::size_t>(f)] = enabled_flag;
+}
+
+bool
+enabled(Flag f)
+{
+    if (!envParsed)
+        initFromEnvironment();
+    return flags[static_cast<std::size_t>(f)];
+}
+
+void
+enableFromList(const std::string &list)
+{
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string name = list.substr(pos, comma - pos);
+        bool found = false;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(Flag::NumFlags); ++i) {
+            if (name == flagName(static_cast<Flag>(i))) {
+                flags[i] = true;
+                found = true;
+            }
+        }
+        if (!found && !name.empty())
+            warn("unknown trace flag '%s'", name.c_str());
+        pos = comma + 1;
+    }
+}
+
+void
+initFromEnvironment()
+{
+    envParsed = true;
+    if (const char *env = std::getenv("DISTDA_TRACE"))
+        enableFromList(env);
+}
+
+void
+print(Flag f, sim::Tick when, const char *unit, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string body = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%12llu: %s: [%s] %s\n",
+                 static_cast<unsigned long long>(when), unit,
+                 flagName(f), body.c_str());
+}
+
+} // namespace distda::trace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DPRINTF-style debug tracing in the gem5 mold: named flags enabled at
+ * runtime (programmatically or via the DISTDA_TRACE environment
+ * variable, a comma-separated flag list), with each record carrying
+ * the current simulated tick and the emitting unit's name.
+ *
+ * Usage:
+ *   DISTDA_TRACE=Stream,Channel ./build/tools/distda_run ...
+ *   DPRINTF(Stream, "fetch chunk %lld at 0x%llx", c, addr);
+ */
+
+#ifndef DISTDA_SIM_TRACE_HH
+#define DISTDA_SIM_TRACE_HH
+
+#include <string>
+
+#include "src/sim/ticks.hh"
+
+namespace distda::trace
+{
+
+/** Trace flags; one bit per subsystem. */
+enum class Flag : unsigned
+{
+    Stream,   ///< access-unit fill/drain FSM activity
+    Channel,  ///< produce/consume and backpressure
+    Actor,    ///< partition actor iteration progress
+    Runtime,  ///< offload configuration and launches
+    Noc,      ///< packet injections
+    Cache,    ///< hits/misses/writebacks
+    NumFlags
+};
+
+/** Resolve a flag's name. */
+const char *flagName(Flag f);
+
+/** Enable/disable one flag. */
+void setEnabled(Flag f, bool enabled);
+
+/** True when @p f is enabled. */
+bool enabled(Flag f);
+
+/** Enable flags from a comma-separated list ("Stream,Actor"). */
+void enableFromList(const std::string &list);
+
+/** Parse DISTDA_TRACE from the environment (done lazily on first use). */
+void initFromEnvironment();
+
+/** Emit one trace record (printf-style). */
+void print(Flag f, sim::Tick when, const char *unit, const char *fmt,
+           ...) __attribute__((format(printf, 4, 5)));
+
+} // namespace distda::trace
+
+/**
+ * Emit a trace record when @p flag is enabled. @p when and @p unit
+ * identify the simulated time and component.
+ */
+#define DISTDA_DPRINTF(flag, when, unit, ...)                             \
+    do {                                                                  \
+        if (::distda::trace::enabled(::distda::trace::Flag::flag)) {      \
+            ::distda::trace::print(::distda::trace::Flag::flag, (when),   \
+                                   (unit), __VA_ARGS__);                  \
+        }                                                                 \
+    } while (0)
+
+#endif // DISTDA_SIM_TRACE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for workload implementations: reference-comparison
+ * utilities and deterministic input generation.
+ */
+
+#ifndef DISTDA_WORKLOADS_COMMON_HH
+#define DISTDA_WORKLOADS_COMMON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/backend.hh"
+#include "src/sim/logging.hh"
+#include "src/sim/rng.hh"
+
+namespace distda::workloads
+{
+
+/** Relative-tolerance comparison for floating-point outputs. */
+inline bool
+nearlyEqual(double a, double b, double rel_tol = 1e-9)
+{
+    const double diff = std::fabs(a - b);
+    if (diff <= rel_tol)
+        return true;
+    return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/** Compare a simulated float array against a reference vector. */
+inline bool
+arrayMatchesF(const engine::ArrayRef &arr,
+              const std::vector<double> &ref, double rel_tol = 1e-9)
+{
+    if (arr.count != ref.size())
+        return false;
+    for (std::uint64_t i = 0; i < arr.count; ++i) {
+        if (!nearlyEqual(arr.getF(i), ref[i], rel_tol)) {
+            warn("float mismatch at %llu: %g vs %g",
+                 static_cast<unsigned long long>(i), arr.getF(i),
+                 ref[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Compare a simulated integer array against a reference vector. */
+inline bool
+arrayMatchesI(const engine::ArrayRef &arr,
+              const std::vector<std::int64_t> &ref)
+{
+    if (arr.count != ref.size())
+        return false;
+    for (std::uint64_t i = 0; i < arr.count; ++i) {
+        if (arr.getI(i) != ref[i]) {
+            warn("int mismatch at %llu: %lld vs %lld",
+                 static_cast<unsigned long long>(i),
+                 static_cast<long long>(arr.getI(i)),
+                 static_cast<long long>(ref[i]));
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Scale a dimension, keeping a sane minimum. */
+inline std::int64_t
+scaled(std::int64_t base, double scale, std::int64_t min_value = 4)
+{
+    const auto v = static_cast<std::int64_t>(base * scale);
+    return v < min_value ? min_value : v;
+}
+
+} // namespace distda::workloads
+
+#endif // DISTDA_WORKLOADS_COMMON_HH

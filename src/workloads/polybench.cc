@@ -1,0 +1,588 @@
+/**
+ * @file
+ * Polybench workloads of Table IV: fdtd-2d (multi-array stencil),
+ * cholesky (column strides, multi-stream reduction), adi (serialized
+ * row/column recurrences) and seidel-2d (in-place 9-point stencil with
+ * loop-carried in-row dependence).
+ *
+ * Each workload's native reference replays the exact operation order of
+ * its kernels so floating-point outputs match bit-for-bit.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "src/workloads/common.hh"
+#include "src/workloads/workload.hh"
+
+namespace distda::workloads
+{
+
+using compiler::Kernel;
+using compiler::KernelBuilder;
+using compiler::OpCode;
+using compiler::Word;
+using driver::ExecContext;
+using driver::System;
+using engine::ArrayRef;
+
+namespace
+{
+
+/** Deterministic pseudo-random matrix fill. */
+void
+fillMatrix(ArrayRef &arr, std::uint64_t seed, double lo = 0.0,
+           double hi = 1.0)
+{
+    sim::Rng rng(seed);
+    for (std::uint64_t i = 0; i < arr.count; ++i)
+        arr.setF(i, lo + (hi - lo) * rng.nextDouble());
+}
+
+/** Seidel-2D: T in-place sweeps of a 9-point average over an NxN grid. */
+class Seidel2d : public Workload
+{
+  public:
+    explicit Seidel2d(double scale)
+        : _n(scaled(360, scale, 16)), _t(2)
+    {
+    }
+
+    std::string name() const override { return "sei"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return static_cast<std::uint64_t>(_n) * _n * 8 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto n = static_cast<std::uint64_t>(_n);
+        _a = sys.alloc("A", n * n, 8, true);
+        fillMatrix(_a, 3);
+
+        // Reference replaying the kernel's add order.
+        _ref.resize(n * n);
+        for (std::uint64_t i = 0; i < n * n; ++i)
+            _ref[i] = _a.getF(i);
+        auto at = [this](std::int64_t r, std::int64_t c) -> double & {
+            return _ref[static_cast<std::size_t>(r * _n + c)];
+        };
+        for (int t = 0; t < _t; ++t) {
+            for (std::int64_t i = 1; i < _n - 1; ++i) {
+                for (std::int64_t j = 1; j < _n - 1; ++j) {
+                    double s = at(i - 1, j - 1);
+                    s = s + at(i - 1, j);
+                    s = s + at(i - 1, j + 1);
+                    s = s + at(i, j - 1);
+                    s = s + at(i, j);
+                    s = s + at(i, j + 1);
+                    s = s + at(i + 1, j - 1);
+                    s = s + at(i + 1, j);
+                    s = s + at(i + 1, j + 1);
+                    at(i, j) = s / 9.0;
+                }
+            }
+        }
+
+        KernelBuilder kb("sei_row");
+        const auto nn = static_cast<std::uint64_t>(_n) *
+                        static_cast<std::uint64_t>(_n);
+        const int o_a = kb.object("A", nn, 8, true);
+        const int p_rb = kb.param("rowBase"); // i * N
+        kb.loopStatic(_n - 2);
+        auto tap = [&](std::int64_t dr, std::int64_t dc) {
+            return kb.load(o_a, kb.affineP(dr * _n + 1 + dc, 1,
+                                           {{p_rb, 1}}));
+        };
+        auto s = tap(-1, -1);
+        s = kb.fadd(s, tap(-1, 0));
+        s = kb.fadd(s, tap(-1, 1));
+        s = kb.fadd(s, tap(0, -1));
+        s = kb.fadd(s, tap(0, 0));
+        s = kb.fadd(s, tap(0, 1));
+        s = kb.fadd(s, tap(1, -1));
+        s = kb.fadd(s, tap(1, 0));
+        s = kb.fadd(s, tap(1, 1));
+        auto v = kb.fdiv(s, kb.constFloat(9.0));
+        kb.store(o_a, kb.affineP(1, 1, {{p_rb, 1}}), v);
+        _kernel = kb.build();
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        for (int t = 0; t < _t; ++t) {
+            for (std::int64_t i = 1; i < _n - 1; ++i) {
+                ctx.invoke(_kernel, {_a}, {ExecContext::wi(i * _n)});
+                ctx.hostOps(3);
+            }
+        }
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesF(_a, _ref, 0.0);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kernel};
+    }
+
+  private:
+    std::int64_t _n;
+    int _t;
+    ArrayRef _a;
+    Kernel _kernel;
+    std::vector<double> _ref;
+};
+
+/** FDTD-2D: electromagnetic stencil over ex/ey/hz with a source term. */
+class Fdtd2d : public Workload
+{
+  public:
+    explicit Fdtd2d(double scale)
+        : _n(scaled(192, scale, 16)), _t(scaled(6, scale, 2))
+    {
+    }
+
+    std::string name() const override { return "fdt"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return 3ULL * _n * _n * 8 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto nn = static_cast<std::uint64_t>(_n) *
+                        static_cast<std::uint64_t>(_n);
+        _ex = sys.alloc("ex", nn, 8, true);
+        _ey = sys.alloc("ey", nn, 8, true);
+        _hz = sys.alloc("hz", nn, 8, true);
+        fillMatrix(_ex, 5);
+        fillMatrix(_ey, 6);
+        fillMatrix(_hz, 7);
+
+        // Reference.
+        _rex.resize(nn);
+        _rey.resize(nn);
+        _rhz.resize(nn);
+        for (std::uint64_t i = 0; i < nn; ++i) {
+            _rex[i] = _ex.getF(i);
+            _rey[i] = _ey.getF(i);
+            _rhz[i] = _hz.getF(i);
+        }
+        const auto n = _n;
+        for (int t = 0; t < _t; ++t) {
+            const double fict = static_cast<double>(t);
+            for (std::int64_t j = 0; j < n; ++j)
+                _rey[static_cast<std::size_t>(j)] = fict;
+            for (std::int64_t i = 1; i < n; ++i) {
+                for (std::int64_t j = 0; j < n; ++j) {
+                    const auto p = static_cast<std::size_t>(i * n + j);
+                    _rey[p] = _rey[p] -
+                              0.5 * (_rhz[p] -
+                                     _rhz[p - static_cast<std::size_t>(
+                                                  n)]);
+                }
+            }
+            for (std::int64_t i = 0; i < n; ++i) {
+                for (std::int64_t j = 1; j < n; ++j) {
+                    const auto p = static_cast<std::size_t>(i * n + j);
+                    _rex[p] = _rex[p] - 0.5 * (_rhz[p] - _rhz[p - 1]);
+                }
+            }
+            for (std::int64_t i = 0; i < n - 1; ++i) {
+                for (std::int64_t j = 0; j < n - 1; ++j) {
+                    const auto p = static_cast<std::size_t>(i * n + j);
+                    _rhz[p] =
+                        _rhz[p] -
+                        0.7 * ((_rex[p + 1] - _rex[p]) +
+                               (_rey[p + static_cast<std::size_t>(n)] -
+                                _rey[p]));
+                }
+            }
+        }
+
+        {
+            KernelBuilder kb("fdt_ey0");
+            const int o_ey = kb.object("ey", nn, 8, true);
+            const int p_f = kb.param("fict");
+            kb.loopStatic(_n);
+            kb.store(o_ey, kb.affine(0, 1), kb.paramValue(p_f));
+            _kEy0 = kb.build();
+        }
+        {
+            KernelBuilder kb("fdt_ey");
+            const int o_ey = kb.object("ey", nn, 8, true);
+            const int o_hz = kb.object("hz", nn, 8, true);
+            const int p_rb = kb.param("rowBase");
+            kb.loopStatic(_n);
+            auto hz0 = kb.load(o_hz, kb.affineP(0, 1, {{p_rb, 1}}));
+            auto hz1 = kb.load(o_hz, kb.affineP(-_n, 1, {{p_rb, 1}}));
+            auto diff = kb.fsub(hz0, hz1);
+            auto half = kb.fmul(kb.constFloat(0.5), diff);
+            auto ey = kb.load(o_ey, kb.affineP(0, 1, {{p_rb, 1}}));
+            kb.store(o_ey, kb.affineP(0, 1, {{p_rb, 1}}),
+                     kb.fsub(ey, half));
+            _kEy = kb.build();
+        }
+        {
+            KernelBuilder kb("fdt_ex");
+            const int o_ex = kb.object("ex", nn, 8, true);
+            const int o_hz = kb.object("hz", nn, 8, true);
+            const int p_rb = kb.param("rowBase");
+            kb.loopStatic(_n - 1);
+            auto hz0 = kb.load(o_hz, kb.affineP(1, 1, {{p_rb, 1}}));
+            auto hz1 = kb.load(o_hz, kb.affineP(0, 1, {{p_rb, 1}}));
+            auto half = kb.fmul(kb.constFloat(0.5), kb.fsub(hz0, hz1));
+            auto ex = kb.load(o_ex, kb.affineP(1, 1, {{p_rb, 1}}));
+            kb.store(o_ex, kb.affineP(1, 1, {{p_rb, 1}}),
+                     kb.fsub(ex, half));
+            _kEx = kb.build();
+        }
+        {
+            KernelBuilder kb("fdt_hz");
+            const int o_ex = kb.object("ex", nn, 8, true);
+            const int o_ey = kb.object("ey", nn, 8, true);
+            const int o_hz = kb.object("hz", nn, 8, true);
+            const int p_rb = kb.param("rowBase");
+            kb.loopStatic(_n - 1);
+            auto ex1 = kb.load(o_ex, kb.affineP(1, 1, {{p_rb, 1}}));
+            auto ex0 = kb.load(o_ex, kb.affineP(0, 1, {{p_rb, 1}}));
+            auto ey1 = kb.load(o_ey, kb.affineP(_n, 1, {{p_rb, 1}}));
+            auto ey0 = kb.load(o_ey, kb.affineP(0, 1, {{p_rb, 1}}));
+            auto sum = kb.fadd(kb.fsub(ex1, ex0), kb.fsub(ey1, ey0));
+            auto term = kb.fmul(kb.constFloat(0.7), sum);
+            auto hz = kb.load(o_hz, kb.affineP(0, 1, {{p_rb, 1}}));
+            kb.store(o_hz, kb.affineP(0, 1, {{p_rb, 1}}),
+                     kb.fsub(hz, term));
+            _kHz = kb.build();
+        }
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        for (int t = 0; t < _t; ++t) {
+            ctx.invoke(_kEy0, {_ey},
+                       {ExecContext::wf(static_cast<double>(t))});
+            for (std::int64_t i = 1; i < _n; ++i) {
+                ctx.invoke(_kEy, {_ey, _hz},
+                           {ExecContext::wi(i * _n)});
+                ctx.hostOps(3);
+            }
+            for (std::int64_t i = 0; i < _n; ++i) {
+                ctx.invoke(_kEx, {_ex, _hz},
+                           {ExecContext::wi(i * _n)});
+                ctx.hostOps(3);
+            }
+            for (std::int64_t i = 0; i < _n - 1; ++i) {
+                ctx.invoke(_kHz, {_ex, _ey, _hz},
+                           {ExecContext::wi(i * _n)});
+                ctx.hostOps(3);
+            }
+        }
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesF(_ex, _rex, 0.0) &&
+               arrayMatchesF(_ey, _rey, 0.0) &&
+               arrayMatchesF(_hz, _rhz, 0.0);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kEy0, &_kEy, &_kEx, &_kHz};
+    }
+
+  private:
+    std::int64_t _n;
+    int _t;
+    ArrayRef _ex, _ey, _hz;
+    Kernel _kEy0, _kEy, _kEx, _kHz;
+    std::vector<double> _rex, _rey, _rhz;
+};
+
+/** Cholesky: in-place factorization with column-strided updates. */
+class Cholesky : public Workload
+{
+  public:
+    explicit Cholesky(double scale) : _n(scaled(192, scale, 12)) {}
+
+    std::string name() const override { return "cho"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return static_cast<std::uint64_t>(_n) * _n * 8 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto nn = static_cast<std::uint64_t>(_n) *
+                        static_cast<std::uint64_t>(_n);
+        _a = sys.alloc("A", nn, 8, true);
+        // Symmetric positive-definite input.
+        sim::Rng rng(13);
+        std::vector<double> m(nn);
+        for (std::int64_t i = 0; i < _n; ++i) {
+            for (std::int64_t j = 0; j <= i; ++j) {
+                const double v = rng.nextDouble() * 0.1;
+                m[static_cast<std::size_t>(i * _n + j)] = v;
+                m[static_cast<std::size_t>(j * _n + i)] = v;
+            }
+            m[static_cast<std::size_t>(i * _n + i)] +=
+                static_cast<double>(_n);
+        }
+        for (std::uint64_t i = 0; i < nn; ++i)
+            _a.setF(i, m[i]);
+
+        // Reference: row-oriented Cholesky whose innermost loop is the
+        // multi-stream dot-product reduction the paper highlights.
+        _ref = m;
+        auto at = [this](std::int64_t r, std::int64_t c) -> double & {
+            return _ref[static_cast<std::size_t>(r * _n + c)];
+        };
+        for (std::int64_t i = 0; i < _n; ++i) {
+            for (std::int64_t j = 0; j <= i; ++j) {
+                double sum = 0.0;
+                for (std::int64_t k = 0; k < j; ++k)
+                    sum = sum + at(i, k) * at(j, k);
+                if (i == j)
+                    at(i, j) = std::sqrt(at(i, j) - sum);
+                else
+                    at(i, j) = (at(i, j) - sum) / at(j, j);
+            }
+        }
+
+        {
+            KernelBuilder kb("cho_dot");
+            const int o_a = kb.object("A", nn, 8, true);
+            const int p_ri = kb.param("rowI"); // i * N
+            const int p_rj = kb.param("rowJ"); // j * N
+            const int p_trip = kb.param("trip");
+            kb.loopFromParam(p_trip);
+            auto sum = kb.carry(Word{.f = 0.0}, true, "sum");
+            auto aik = kb.load(o_a, kb.affineP(0, 1, {{p_ri, 1}}));
+            auto ajk = kb.load(o_a, kb.affineP(0, 1, {{p_rj, 1}}));
+            kb.setCarry(sum, kb.fadd(sum, kb.fmul(aik, ajk)));
+            kb.markResult(sum);
+            _kDot = kb.build();
+        }
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        for (std::int64_t i = 0; i < _n; ++i) {
+            for (std::int64_t j = 0; j <= i; ++j) {
+                double sum = 0.0;
+                if (j > 0) {
+                    ctx.invoke(_kDot, {_a},
+                               {ExecContext::wi(i * _n),
+                                ExecContext::wi(j * _n),
+                                ExecContext::wi(j)});
+                    sum = ctx.resultF(0);
+                }
+                const auto ij = static_cast<std::uint64_t>(i * _n + j);
+                const double aij = ctx.hostLoadF(_a, ij);
+                if (i == j) {
+                    ctx.hostStoreF(_a, ij, std::sqrt(aij - sum));
+                } else {
+                    const double djj = ctx.hostLoadF(
+                        _a, static_cast<std::uint64_t>(j * _n + j));
+                    ctx.hostStoreF(_a, ij, (aij - sum) / djj);
+                }
+                ctx.hostOps(6);
+            }
+        }
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesF(_a, _ref, 0.0);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kDot};
+    }
+
+  private:
+    std::int64_t _n;
+    ArrayRef _a;
+    Kernel _kDot;
+    std::vector<double> _ref;
+};
+
+/** ADI-style alternating row/column sweeps with recurrences. */
+class Adi : public Workload
+{
+  public:
+    explicit Adi(double scale)
+        : _n(scaled(224, scale, 16)), _t(2)
+    {
+    }
+
+    std::string name() const override { return "adi"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return 2ULL * _n * _n * 8 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto nn = static_cast<std::uint64_t>(_n) *
+                        static_cast<std::uint64_t>(_n);
+        _u = sys.alloc("u", nn, 8, true);
+        _p = sys.alloc("p", nn, 8, true);
+        fillMatrix(_u, 17);
+        fillMatrix(_p, 18);
+
+        _ru.resize(nn);
+        _rp.resize(nn);
+        for (std::uint64_t i = 0; i < nn; ++i) {
+            _ru[i] = _u.getF(i);
+            _rp[i] = _p.getF(i);
+        }
+        for (int t = 0; t < _t; ++t) {
+            // Row forward sweeps.
+            for (std::int64_t i = 0; i < _n; ++i) {
+                double prev = 0.0;
+                for (std::int64_t j = 0; j < _n; ++j) {
+                    const auto idx =
+                        static_cast<std::size_t>(i * _n + j);
+                    const double v =
+                        (_ru[idx] + 0.5 * prev) * 0.25;
+                    _rp[idx] = v;
+                    prev = v;
+                }
+            }
+            // Column backward sweeps.
+            for (std::int64_t i = 0; i < _n; ++i) {
+                double prev = 0.0;
+                for (std::int64_t j = 0; j < _n; ++j) {
+                    const auto idx = static_cast<std::size_t>(
+                        (_n - 1 - j) * _n + i);
+                    const double v =
+                        (_rp[idx] + 0.4 * prev) * 0.3;
+                    _ru[idx] = v;
+                    prev = v;
+                }
+            }
+        }
+
+        {
+            KernelBuilder kb("adi_row");
+            const auto cells = nn;
+            const int o_u = kb.object("u", cells, 8, true);
+            const int o_p = kb.object("p", cells, 8, true);
+            const int p_rb = kb.param("rowBase");
+            kb.loopStatic(_n);
+            auto prev = kb.carry(Word{.f = 0.0}, true, "prev");
+            auto uv = kb.load(o_u, kb.affineP(0, 1, {{p_rb, 1}}));
+            auto term = kb.fmul(kb.constFloat(0.5), prev);
+            auto v = kb.fmul(kb.fadd(uv, term), kb.constFloat(0.25));
+            kb.store(o_p, kb.affineP(0, 1, {{p_rb, 1}}), v);
+            kb.setCarry(prev, v);
+            _kRow = kb.build();
+        }
+        {
+            KernelBuilder kb("adi_col");
+            const auto cells = nn;
+            const int o_u = kb.object("u", cells, 8, true);
+            const int o_p = kb.object("p", cells, 8, true);
+            const int p_cb = kb.param("colBase"); // (N-1)*N + i
+            kb.loopStatic(_n);
+            auto prev = kb.carry(Word{.f = 0.0}, true, "prev");
+            auto pv = kb.load(o_p, kb.affineP(0, -_n, {{p_cb, 1}}));
+            auto term = kb.fmul(kb.constFloat(0.4), prev);
+            auto v = kb.fmul(kb.fadd(pv, term), kb.constFloat(0.3));
+            kb.store(o_u, kb.affineP(0, -_n, {{p_cb, 1}}), v);
+            kb.setCarry(prev, v);
+            _kCol = kb.build();
+        }
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        for (int t = 0; t < _t; ++t) {
+            for (std::int64_t i = 0; i < _n; ++i) {
+                ctx.invoke(_kRow, {_u, _p}, {ExecContext::wi(i * _n)});
+                ctx.hostOps(3);
+            }
+            for (std::int64_t i = 0; i < _n; ++i) {
+                ctx.invoke(_kCol, {_u, _p},
+                           {ExecContext::wi((_n - 1) * _n + i)});
+                ctx.hostOps(3);
+            }
+        }
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesF(_u, _ru, 0.0) &&
+               arrayMatchesF(_p, _rp, 0.0);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kRow, &_kCol};
+    }
+
+  private:
+    std::int64_t _n;
+    int _t;
+    ArrayRef _u, _p;
+    Kernel _kRow, _kCol;
+    std::vector<double> _ru, _rp;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSeidel2d(double scale)
+{
+    return std::make_unique<Seidel2d>(scale);
+}
+
+std::unique_ptr<Workload>
+makeFdtd2d(double scale)
+{
+    return std::make_unique<Fdtd2d>(scale);
+}
+
+std::unique_ptr<Workload>
+makeCholesky(double scale)
+{
+    return std::make_unique<Cholesky>(scale);
+}
+
+std::unique_ptr<Workload>
+makeAdi(double scale)
+{
+    return std::make_unique<Adi>(scale);
+}
+
+} // namespace distda::workloads

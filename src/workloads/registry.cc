@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Workload registry: maps Table IV benchmark names to factories.
+ */
+
+#include <map>
+
+#include "src/sim/logging.hh"
+#include "src/workloads/workload.hh"
+
+namespace distda::workloads
+{
+
+// Factories implemented across the workload translation units.
+std::unique_ptr<Workload> makeDisparity(double scale);
+std::unique_ptr<Workload> makeTracking(double scale);
+std::unique_ptr<Workload> makeFdtd2d(double scale);
+std::unique_ptr<Workload> makeCholesky(double scale);
+std::unique_ptr<Workload> makeAdi(double scale);
+std::unique_ptr<Workload> makeSeidel2d(double scale);
+std::unique_ptr<Workload> makePathfinder(double scale);
+std::unique_ptr<Workload> makeNw(double scale);
+std::unique_ptr<Workload> makeBfs(double scale);
+std::unique_ptr<Workload> makePageRank(double scale);
+std::unique_ptr<Workload> makePointerChase(double scale);
+std::unique_ptr<Workload> makePca(double scale);
+std::unique_ptr<Workload> makeSpmv(double scale);
+
+namespace
+{
+
+using Factory = std::unique_ptr<Workload> (*)(double);
+
+const std::vector<std::pair<std::string, Factory>> &
+registry()
+{
+    static const std::vector<std::pair<std::string, Factory>> table = {
+        {"dis", &makeDisparity},  {"tra", &makeTracking},
+        {"fdt", &makeFdtd2d},     {"cho", &makeCholesky},
+        {"adi", &makeAdi},        {"sei", &makeSeidel2d},
+        {"pf", &makePathfinder},  {"nw", &makeNw},
+        {"bfs", &makeBfs},        {"pr", &makePageRank},
+        {"pch", &makePointerChase}, {"pca", &makePca},
+        {"spmv", &makeSpmv},
+    };
+    return table;
+}
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : registry()) {
+        if (name != "spmv") // case study, not in the core 12
+            names.push_back(name);
+    }
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, double scale)
+{
+    for (const auto &[wname, factory] : registry()) {
+        if (wname == name)
+            return factory(scale);
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace distda::workloads

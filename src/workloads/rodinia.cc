@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Rodinia dynamic-programming workloads: pathfinder (grid DP over rows
+ * with ping-pong cost buffers) and nw (Needleman-Wunsch with in-row
+ * carried dependence), per Table IV.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "src/workloads/common.hh"
+#include "src/workloads/workload.hh"
+
+namespace distda::workloads
+{
+
+using compiler::Kernel;
+using compiler::KernelBuilder;
+using compiler::OpCode;
+using driver::ExecContext;
+using driver::System;
+using engine::ArrayRef;
+
+namespace
+{
+
+/** Pathfinder: row-by-row min-path DP on an RxW cost grid. */
+class Pathfinder : public Workload
+{
+  public:
+    explicit Pathfinder(double scale)
+        : _w(scaled(2048, scale, 32)), _rows(scaled(192, scale, 8))
+    {
+    }
+
+    std::string name() const override { return "pf"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return static_cast<std::uint64_t>(_rows) * _w * 4 + _w * 8 +
+               (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto w = static_cast<std::uint64_t>(_w);
+        _wall = sys.alloc("wall",
+                          static_cast<std::uint64_t>(_rows) * w, 4,
+                          false);
+        _bufA = sys.alloc("bufA", w, 4, false);
+        _bufB = sys.alloc("bufB", w, 4, false);
+
+        sim::Rng rng(23);
+        for (std::uint64_t i = 0; i < _wall.count; ++i)
+            _wall.setI(i, static_cast<std::int64_t>(rng.nextBelow(10)));
+        for (std::uint64_t j = 0; j < w; ++j)
+            _bufA.setI(j, _wall.getI(j));
+
+        // Reference.
+        std::vector<std::int64_t> src(w), dst(w);
+        for (std::uint64_t j = 0; j < w; ++j)
+            src[j] = _wall.getI(j);
+        for (std::int64_t r = 1; r < _rows; ++r) {
+            for (std::int64_t j = 0; j < _w; ++j) {
+                std::int64_t best = src[static_cast<std::size_t>(j)];
+                if (j > 0)
+                    best = std::min(
+                        best, src[static_cast<std::size_t>(j - 1)]);
+                if (j < _w - 1)
+                    best = std::min(
+                        best, src[static_cast<std::size_t>(j + 1)]);
+                dst[static_cast<std::size_t>(j)] =
+                    _wall.getI(static_cast<std::uint64_t>(r * _w + j)) +
+                    best;
+            }
+            std::swap(src, dst);
+        }
+        _ref = src;
+
+        KernelBuilder kb("pf_row");
+        const int o_wall = kb.object("wall", _wall.count, 4, false);
+        const int o_src = kb.object("src", w, 4, false);
+        const int o_dst = kb.object("dst", w, 4, false);
+        const int p_rb = kb.param("rowBase");
+        kb.loopStatic(_w - 2);
+        // Inner span j' = j - 1 over [0, W-2): dst[1+j'] uses
+        // src[j'..j'+2].
+        auto s0 = kb.load(o_src, kb.affine(0, 1));
+        auto s1 = kb.load(o_src, kb.affine(1, 1));
+        auto s2 = kb.load(o_src, kb.affine(2, 1));
+        auto m = kb.imin(kb.imin(s1, s0), s2);
+        auto wv = kb.load(o_wall, kb.affineP(1, 1, {{p_rb, 1}}));
+        kb.store(o_dst, kb.affine(1, 1), kb.iadd(wv, m));
+        _kernel = kb.build();
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        ArrayRef src = _bufA, dst = _bufB;
+        for (std::int64_t r = 1; r < _rows; ++r) {
+            // Grid edges on the host (j = 0 and j = W-1).
+            const std::int64_t s0 = ctx.hostLoadI(src, 0);
+            const std::int64_t s1 = ctx.hostLoadI(src, 1);
+            const std::int64_t w0 = ctx.hostLoadI(
+                _wall, static_cast<std::uint64_t>(r * _w));
+            ctx.hostStoreI(dst, 0, w0 + std::min(s0, s1));
+            ctx.hostOps(4);
+
+            ctx.invoke(_kernel, {_wall, src, dst},
+                       {ExecContext::wi(r * _w)});
+
+            const auto wlast = static_cast<std::uint64_t>(_w - 1);
+            const std::int64_t sa = ctx.hostLoadI(src, wlast - 1);
+            const std::int64_t sb = ctx.hostLoadI(src, wlast);
+            const std::int64_t wl = ctx.hostLoadI(
+                _wall, static_cast<std::uint64_t>(r * _w) + wlast);
+            ctx.hostStoreI(dst, wlast, wl + std::min(sa, sb));
+            ctx.hostOps(4);
+
+            std::swap(src, dst);
+        }
+        _final = src;
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesI(_final, _ref);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kernel};
+    }
+
+  private:
+    std::int64_t _w;
+    std::int64_t _rows;
+    ArrayRef _wall, _bufA, _bufB, _final;
+    Kernel _kernel;
+    std::vector<std::int64_t> _ref;
+};
+
+/** Needleman-Wunsch DP with diagonal/up/left maxima. */
+class Nw : public Workload
+{
+  public:
+    explicit Nw(double scale) : _n(scaled(512, scale, 16)) {}
+
+    std::string name() const override { return "nw"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        const auto m = static_cast<std::uint64_t>(_n + 1);
+        return m * m * 4 +
+               static_cast<std::uint64_t>(_n) * _n * 4 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto m = static_cast<std::uint64_t>(_n + 1);
+        _f = sys.alloc("F", m * m, 4, false);
+        _refm = sys.alloc("ref", static_cast<std::uint64_t>(_n) * _n, 4,
+                          false);
+
+        sim::Rng rng(29);
+        for (std::uint64_t i = 0; i < _refm.count; ++i)
+            _refm.setI(i,
+                       static_cast<std::int64_t>(rng.nextBelow(21)) -
+                           10);
+        for (std::uint64_t i = 0; i < m * m; ++i)
+            _f.setI(i, 0);
+        for (std::int64_t i = 0; i <= _n; ++i) {
+            _f.setI(static_cast<std::uint64_t>(i) * m,
+                    -penalty * i);
+            _f.setI(static_cast<std::uint64_t>(i), -penalty * i);
+        }
+
+        // Reference.
+        std::vector<std::int64_t> F(m * m, 0);
+        for (std::int64_t i = 0; i <= _n; ++i) {
+            F[static_cast<std::size_t>(i) * m] = -penalty * i;
+            F[static_cast<std::size_t>(i)] = -penalty * i;
+        }
+        for (std::int64_t i = 1; i <= _n; ++i) {
+            for (std::int64_t j = 1; j <= _n; ++j) {
+                const auto fm = static_cast<std::int64_t>(m);
+                const std::int64_t diag =
+                    F[static_cast<std::size_t>((i - 1) * fm + j - 1)] +
+                    _refm.getI(static_cast<std::uint64_t>(
+                        (i - 1) * _n + j - 1));
+                const std::int64_t up =
+                    F[static_cast<std::size_t>((i - 1) * fm + j)] -
+                    penalty;
+                const std::int64_t left =
+                    F[static_cast<std::size_t>(i * fm + j - 1)] -
+                    penalty;
+                F[static_cast<std::size_t>(i * fm + j)] =
+                    std::max(std::max(diag, up), left);
+            }
+        }
+        _ref = F;
+
+        KernelBuilder kb("nw_row");
+        const int o_f = kb.object("F", m * m, 4, false);
+        const int o_ref = kb.object("ref", _refm.count, 4, false);
+        const int p_rb = kb.param("rowBase");  // i * (N+1)
+        const int p_refb = kb.param("refBase"); // (i-1) * N
+        kb.loopStatic(_n);
+        const auto fm = static_cast<std::int64_t>(m);
+        auto diag0 = kb.load(o_f, kb.affineP(-fm, 1, {{p_rb, 1}}));
+        auto rv = kb.load(o_ref, kb.affineP(0, 1, {{p_refb, 1}}));
+        auto diag = kb.iadd(diag0, rv);
+        auto up = kb.isub(kb.load(o_f, kb.affineP(-fm + 1, 1,
+                                                  {{p_rb, 1}})),
+                          kb.constInt(penalty));
+        auto left = kb.isub(kb.load(o_f, kb.affineP(0, 1, {{p_rb, 1}})),
+                            kb.constInt(penalty));
+        auto best = kb.imax(kb.imax(diag, up), left);
+        kb.store(o_f, kb.affineP(1, 1, {{p_rb, 1}}), best);
+        _kernel = kb.build();
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        const auto m = static_cast<std::int64_t>(_n + 1);
+        for (std::int64_t i = 1; i <= _n; ++i) {
+            ctx.invoke(_kernel, {_f, _refm},
+                       {ExecContext::wi(i * m),
+                        ExecContext::wi((i - 1) * _n)});
+            ctx.hostOps(3);
+        }
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesI(_f, _ref);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kernel};
+    }
+
+  private:
+    static constexpr std::int64_t penalty = 10;
+    std::int64_t _n;
+    ArrayRef _f, _refm;
+    Kernel _kernel;
+    std::vector<std::int64_t> _ref;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePathfinder(double scale)
+{
+    return std::make_unique<Pathfinder>(scale);
+}
+
+std::unique_ptr<Workload>
+makeNw(double scale)
+{
+    return std::make_unique<Nw>(scale);
+}
+
+} // namespace distda::workloads

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * SD-VBS vision workloads (disparity, tracking) and the Cortexsuite
+ * PCA data-mining workload of Table IV.
+ *
+ * Disparity runs a per-candidate pipeline (absolute differences, row
+ * box sum, column box sum, running minimum) over flattened images;
+ * tracking computes image gradients, a windowed structure tensor and a
+ * Harris-style corner response; PCA performs column-major mean and
+ * covariance reductions (the column-stride access pattern §VI-C calls
+ * out).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "src/workloads/common.hh"
+#include "src/workloads/workload.hh"
+
+namespace distda::workloads
+{
+
+using compiler::Kernel;
+using compiler::KernelBuilder;
+using compiler::OpCode;
+using compiler::Word;
+using driver::ExecContext;
+using driver::System;
+using engine::ArrayRef;
+
+namespace
+{
+
+/** Stereo disparity via per-candidate SAD pipeline. */
+class Disparity : public Workload
+{
+  public:
+    explicit Disparity(double scale)
+        : _h(scaled(144, scale, 16)), _w(scaled(176, scale, 16)),
+          _maxd(scaled(12, scale, 4))
+    {
+    }
+
+    std::string name() const override { return "dis"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return 7ULL * _h * _w * 4 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto n = static_cast<std::uint64_t>(_h * _w);
+        _left = sys.alloc("left", n, 4, false);
+        _right = sys.alloc("right", n, 4, false);
+        _diff = sys.alloc("diff", n, 4, false);
+        _rowsum = sys.alloc("rowsum", n, 4, false);
+        _sad = sys.alloc("sad", n, 4, false);
+        _best = sys.alloc("best", n, 4, false);
+        _bestd = sys.alloc("bestd", n, 4, false);
+
+        sim::Rng rng(31);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            _left.setI(i, static_cast<std::int64_t>(rng.nextBelow(256)));
+            _right.setI(i,
+                        static_cast<std::int64_t>(rng.nextBelow(256)));
+        }
+        for (std::uint64_t i = 0; i < n; ++i) {
+            _diff.setI(i, 0);
+            _rowsum.setI(i, 0);
+            _sad.setI(i, 0);
+            _best.setI(i, 1 << 28);
+            _bestd.setI(i, -1);
+        }
+
+        // Reference mirroring the kernel passes exactly.
+        const auto ni = static_cast<std::int64_t>(n);
+        std::vector<std::int64_t> diff(n, 0), rowsum(n, 0), sad(n, 0);
+        _refBest.assign(n, 1 << 28);
+        _refBestd.assign(n, -1);
+        for (std::int64_t d = 0; d < _maxd; ++d) {
+            for (std::int64_t j = 0; j < ni - d; ++j) {
+                diff[static_cast<std::size_t>(d + j)] = std::llabs(
+                    _left.getI(static_cast<std::uint64_t>(d + j)) -
+                    _right.getI(static_cast<std::uint64_t>(j)));
+            }
+            for (std::int64_t p = 1; p < ni - 1; ++p) {
+                rowsum[static_cast<std::size_t>(p)] =
+                    diff[static_cast<std::size_t>(p - 1)] +
+                    diff[static_cast<std::size_t>(p)] +
+                    diff[static_cast<std::size_t>(p + 1)];
+            }
+            for (std::int64_t p = _w; p < ni - _w; ++p) {
+                sad[static_cast<std::size_t>(p)] =
+                    rowsum[static_cast<std::size_t>(p - _w)] +
+                    rowsum[static_cast<std::size_t>(p)] +
+                    rowsum[static_cast<std::size_t>(p + _w)];
+            }
+            for (std::int64_t p = _w; p < ni - _w; ++p) {
+                const auto pi = static_cast<std::size_t>(p);
+                if (sad[pi] < _refBest[pi]) {
+                    _refBest[pi] = sad[pi];
+                    _refBestd[pi] = d;
+                }
+            }
+        }
+
+        {
+            KernelBuilder kb("dis_absdiff");
+            const int o_l = kb.object("left", n, 4, false);
+            const int o_r = kb.object("right", n, 4, false);
+            const int o_d = kb.object("diff", n, 4, false);
+            const int p_d = kb.param("d");
+            const int p_trip = kb.param("trip");
+            kb.loopFromParam(p_trip);
+            auto l = kb.load(o_l, kb.affineP(0, 1, {{p_d, 1}}));
+            auto r = kb.load(o_r, kb.affine(0, 1));
+            kb.store(o_d, kb.affineP(0, 1, {{p_d, 1}}),
+                     kb.iabs(kb.isub(l, r)));
+            _kAbsdiff = kb.build();
+        }
+        {
+            KernelBuilder kb("dis_rowsum");
+            const int o_d = kb.object("diff", n, 4, false);
+            const int o_rs = kb.object("rowsum", n, 4, false);
+            kb.loopStatic(_h * _w - 2);
+            auto a = kb.load(o_d, kb.affine(0, 1));
+            auto b = kb.load(o_d, kb.affine(1, 1));
+            auto c = kb.load(o_d, kb.affine(2, 1));
+            kb.store(o_rs, kb.affine(1, 1),
+                     kb.iadd(kb.iadd(a, b), c));
+            _kRowsum = kb.build();
+        }
+        {
+            KernelBuilder kb("dis_colsum");
+            const int o_rs = kb.object("rowsum", n, 4, false);
+            const int o_s = kb.object("sad", n, 4, false);
+            kb.loopStatic(_h * _w - 2 * _w);
+            auto a = kb.load(o_rs, kb.affine(0, 1));
+            auto b = kb.load(o_rs, kb.affine(_w, 1));
+            auto c = kb.load(o_rs, kb.affine(2 * _w, 1));
+            kb.store(o_s, kb.affine(_w, 1),
+                     kb.iadd(kb.iadd(a, b), c));
+            _kColsum = kb.build();
+        }
+        {
+            KernelBuilder kb("dis_min");
+            const int o_s = kb.object("sad", n, 4, false);
+            const int o_b = kb.object("best", n, 4, false);
+            const int o_bd = kb.object("bestd", n, 4, false);
+            const int p_d = kb.param("d");
+            kb.loopStatic(_h * _w - 2 * _w);
+            auto s = kb.load(o_s, kb.affine(_w, 1));
+            auto b = kb.load(o_b, kb.affine(_w, 1));
+            auto lt = kb.compute(OpCode::ICmpLt, s, b);
+            kb.store(o_b, kb.affine(_w, 1), kb.select(lt, s, b));
+            auto bd = kb.load(o_bd, kb.affine(_w, 1));
+            kb.store(o_bd, kb.affine(_w, 1),
+                     kb.select(lt, kb.paramValue(p_d), bd));
+            _kMin = kb.build();
+        }
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        const std::int64_t n = _h * _w;
+        for (std::int64_t d = 0; d < _maxd; ++d) {
+            ctx.invoke(_kAbsdiff, {_left, _right, _diff},
+                       {ExecContext::wi(d), ExecContext::wi(n - d)});
+            ctx.invoke(_kRowsum, {_diff, _rowsum}, {});
+            ctx.invoke(_kColsum, {_rowsum, _sad}, {});
+            ctx.invoke(_kMin, {_sad, _best, _bestd},
+                       {ExecContext::wi(d)});
+            ctx.hostOps(5);
+        }
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesI(_best, _refBest) &&
+               arrayMatchesI(_bestd, _refBestd);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kAbsdiff, &_kRowsum, &_kColsum, &_kMin};
+    }
+
+  private:
+    std::int64_t _h, _w, _maxd;
+    ArrayRef _left, _right, _diff, _rowsum, _sad, _best, _bestd;
+    Kernel _kAbsdiff, _kRowsum, _kColsum, _kMin;
+    std::vector<std::int64_t> _refBest, _refBestd;
+};
+
+/** Feature tracking: gradients, structure tensor, corner response. */
+class Tracking : public Workload
+{
+  public:
+    explicit Tracking(double scale)
+        : _h(scaled(144, scale, 16)), _w(scaled(176, scale, 16))
+    {
+    }
+
+    std::string name() const override { return "tra"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return 5ULL * _h * _w * 4 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto n = static_cast<std::uint64_t>(_h * _w);
+        _img = sys.alloc("img", n, 4, true);
+        _gx = sys.alloc("gx", n, 4, true);
+        _gy = sys.alloc("gy", n, 4, true);
+        _resp = sys.alloc("resp", n, 4, true);
+        _mask = sys.alloc("mask", n, 4, false);
+
+        sim::Rng rng(37);
+        for (std::uint64_t i = 0; i < n; ++i)
+            _img.setF(i, rng.nextDouble());
+        for (std::uint64_t i = 0; i < n; ++i) {
+            _gx.setF(i, 0.0);
+            _gy.setF(i, 0.0);
+            _resp.setF(i, 0.0);
+            _mask.setI(i, 0);
+        }
+
+        // Reference (float32 arithmetic via the backend on the way in
+        // and out; intermediate math replayed in double then narrowed
+        // exactly like the 4-byte stores do).
+        const auto ni = static_cast<std::int64_t>(n);
+        std::vector<float> img(n), gx(n, 0.0f), gy(n, 0.0f),
+            resp(n, 0.0f);
+        for (std::uint64_t i = 0; i < n; ++i)
+            img[i] = static_cast<float>(_img.getF(i));
+        for (std::int64_t p = _w + 1; p < ni - _w - 1; ++p) {
+            const auto pi = static_cast<std::size_t>(p);
+            gx[pi] = static_cast<float>(
+                (static_cast<double>(img[pi + 1]) -
+                 static_cast<double>(img[pi - 1])) *
+                0.5);
+            gy[pi] = static_cast<float>(
+                (static_cast<double>(
+                     img[pi + static_cast<std::size_t>(_w)]) -
+                 static_cast<double>(
+                     img[pi - static_cast<std::size_t>(_w)])) *
+                0.5);
+        }
+        auto sq = [](double v) { return v * v; };
+        for (std::int64_t p = 1; p < ni - 1; ++p) {
+            const auto pi = static_cast<std::size_t>(p);
+            double xx = sq(gx[pi - 1]);
+            xx = xx + sq(gx[pi]);
+            xx = xx + sq(gx[pi + 1]);
+            double yy = sq(gy[pi - 1]);
+            yy = yy + sq(gy[pi]);
+            yy = yy + sq(gy[pi + 1]);
+            double xy = static_cast<double>(gx[pi - 1]) * gy[pi - 1];
+            xy = xy + static_cast<double>(gx[pi]) * gy[pi];
+            xy = xy + static_cast<double>(gx[pi + 1]) * gy[pi + 1];
+            const double det = xx * yy - xy * xy;
+            const double tr = xx + yy;
+            resp[pi] = static_cast<float>(det - 0.04 * tr * tr);
+        }
+        _refMask.assign(n, 0);
+        for (std::int64_t p = 1; p < ni - 1; ++p) {
+            const auto pi = static_cast<std::size_t>(p);
+            const bool over = resp[pi] > 1e-4f;
+            const bool peak =
+                resp[pi] >= resp[pi - 1] && resp[pi] >= resp[pi + 1];
+            _refMask[pi] = (over && peak) ? 1 : 0;
+        }
+        _refResp.assign(n, 0.0);
+        for (std::uint64_t i = 0; i < n; ++i)
+            _refResp[i] = resp[i];
+
+        {
+            KernelBuilder kb("tra_grad");
+            const int o_i = kb.object("img", n, 4, true);
+            const int o_gx = kb.object("gx", n, 4, true);
+            const int o_gy = kb.object("gy", n, 4, true);
+            kb.loopStatic(_h * _w - 2 * _w - 2);
+            const std::int64_t off = _w + 1;
+            auto xr = kb.load(o_i, kb.affine(off + 1, 1));
+            auto xl = kb.load(o_i, kb.affine(off - 1, 1));
+            auto yd = kb.load(o_i, kb.affine(off + _w, 1));
+            auto yu = kb.load(o_i, kb.affine(off - _w, 1));
+            kb.store(o_gx, kb.affine(off, 1),
+                     kb.fmul(kb.fsub(xr, xl), kb.constFloat(0.5)));
+            kb.store(o_gy, kb.affine(off, 1),
+                     kb.fmul(kb.fsub(yd, yu), kb.constFloat(0.5)));
+            _kGrad = kb.build();
+        }
+        {
+            KernelBuilder kb("tra_resp");
+            const int o_gx = kb.object("gx", n, 4, true);
+            const int o_gy = kb.object("gy", n, 4, true);
+            const int o_r = kb.object("resp", n, 4, true);
+            kb.loopStatic(_h * _w - 2);
+            auto x0 = kb.load(o_gx, kb.affine(0, 1));
+            auto x1 = kb.load(o_gx, kb.affine(1, 1));
+            auto x2 = kb.load(o_gx, kb.affine(2, 1));
+            auto y0 = kb.load(o_gy, kb.affine(0, 1));
+            auto y1 = kb.load(o_gy, kb.affine(1, 1));
+            auto y2 = kb.load(o_gy, kb.affine(2, 1));
+            auto xx = kb.fadd(kb.fadd(kb.fmul(x0, x0), kb.fmul(x1, x1)),
+                              kb.fmul(x2, x2));
+            auto yy = kb.fadd(kb.fadd(kb.fmul(y0, y0), kb.fmul(y1, y1)),
+                              kb.fmul(y2, y2));
+            auto xy = kb.fadd(kb.fadd(kb.fmul(x0, y0), kb.fmul(x1, y1)),
+                              kb.fmul(x2, y2));
+            auto det = kb.fsub(kb.fmul(xx, yy), kb.fmul(xy, xy));
+            auto tr = kb.fadd(xx, yy);
+            auto tr2 = kb.fmul(tr, tr);
+            kb.store(o_r, kb.affine(1, 1),
+                     kb.fsub(det, kb.fmul(kb.constFloat(0.04), tr2)));
+            _kResp = kb.build();
+        }
+        {
+            KernelBuilder kb("tra_thresh");
+            const int o_r = kb.object("resp", n, 4, true);
+            const int o_m = kb.object("mask", n, 4, false);
+            kb.loopStatic(_h * _w - 2);
+            auto r0 = kb.load(o_r, kb.affine(0, 1));
+            auto r1 = kb.load(o_r, kb.affine(1, 1));
+            auto r2 = kb.load(o_r, kb.affine(2, 1));
+            auto over =
+                kb.compute(OpCode::FCmpLt, kb.constFloat(1e-4), r1);
+            auto ge0 = kb.compute(OpCode::FCmpLe, r0, r1);
+            auto ge2 = kb.compute(OpCode::FCmpLe, r2, r1);
+            auto both = kb.compute(OpCode::IAnd, ge0, ge2);
+            kb.store(o_m, kb.affine(1, 1),
+                     kb.compute(OpCode::IAnd, over, both));
+            _kThresh = kb.build();
+        }
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        ctx.invoke(_kGrad, {_img, _gx, _gy}, {});
+        ctx.invoke(_kResp, {_gx, _gy, _resp}, {});
+        ctx.invoke(_kThresh, {_resp, _mask}, {});
+        ctx.hostOps(6);
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        if (!arrayMatchesI(_mask, _refMask))
+            return false;
+        for (std::uint64_t i = 0; i < _resp.count; ++i) {
+            if (static_cast<float>(_resp.getF(i)) !=
+                static_cast<float>(_refResp[i]))
+                return false;
+        }
+        return true;
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kGrad, &_kResp, &_kThresh};
+    }
+
+  private:
+    std::int64_t _h, _w;
+    ArrayRef _img, _gx, _gy, _resp, _mask;
+    Kernel _kGrad, _kResp, _kThresh;
+    std::vector<std::int64_t> _refMask;
+    std::vector<double> _refResp;
+};
+
+/** PCA: column-major mean and covariance reductions. */
+class Pca : public Workload
+{
+  public:
+    explicit Pca(double scale)
+        : _rows(scaled(1024, scale, 32)), _cols(scaled(32, scale, 6))
+    {
+    }
+
+    std::string name() const override { return "pca"; }
+
+    std::uint64_t arenaBytes() const override
+    {
+        return static_cast<std::uint64_t>(_rows) * _cols * 8 +
+               static_cast<std::uint64_t>(_cols) * _cols * 8 +
+               static_cast<std::uint64_t>(_cols) * 8 + (8 << 20);
+    }
+
+    void
+    setup(System &sys) override
+    {
+        const auto rc = static_cast<std::uint64_t>(_rows) *
+                        static_cast<std::uint64_t>(_cols);
+        _data = sys.alloc("data", rc, 8, true);
+        _mean = sys.alloc("mean", static_cast<std::uint64_t>(_cols), 8,
+                          true);
+        _cov = sys.alloc("cov",
+                         static_cast<std::uint64_t>(_cols) * _cols, 8,
+                         true);
+        sim::Rng rng(41);
+        for (std::uint64_t i = 0; i < rc; ++i)
+            _data.setF(i, rng.nextDouble() * 10.0);
+
+        // Reference.
+        _refMean.assign(static_cast<std::size_t>(_cols), 0.0);
+        for (std::int64_t j = 0; j < _cols; ++j) {
+            double s = 0.0;
+            for (std::int64_t i = 0; i < _rows; ++i)
+                s = s + _data.getF(static_cast<std::uint64_t>(
+                        i * _cols + j));
+            _refMean[static_cast<std::size_t>(j)] =
+                s / static_cast<double>(_rows);
+        }
+        _refCov.assign(static_cast<std::size_t>(_cols * _cols), 0.0);
+        for (std::int64_t j = 0; j < _cols; ++j) {
+            for (std::int64_t k = j; k < _cols; ++k) {
+                double s = 0.0;
+                for (std::int64_t i = 0; i < _rows; ++i) {
+                    const double a =
+                        _data.getF(static_cast<std::uint64_t>(
+                            i * _cols + j)) -
+                        _refMean[static_cast<std::size_t>(j)];
+                    const double b =
+                        _data.getF(static_cast<std::uint64_t>(
+                            i * _cols + k)) -
+                        _refMean[static_cast<std::size_t>(k)];
+                    s = s + a * b;
+                }
+                const double c = s / static_cast<double>(_rows - 1);
+                _refCov[static_cast<std::size_t>(j * _cols + k)] = c;
+                _refCov[static_cast<std::size_t>(k * _cols + j)] = c;
+            }
+        }
+
+        {
+            KernelBuilder kb("pca_mean");
+            const int o_d = kb.object("data", rc, 8, true);
+            const int p_col = kb.param("col");
+            kb.loopStatic(_rows);
+            auto sum = kb.carry(Word{.f = 0.0}, true, "sum");
+            auto v = kb.load(o_d, kb.affineP(0, _cols, {{p_col, 1}}));
+            kb.setCarry(sum, kb.fadd(sum, v));
+            kb.markResult(sum);
+            _kMean = kb.build();
+        }
+        {
+            KernelBuilder kb("pca_cov");
+            const int o_d = kb.object("data", rc, 8, true);
+            const int p_c1 = kb.param("col1");
+            const int p_c2 = kb.param("col2");
+            const int p_m1 = kb.param("mean1");
+            const int p_m2 = kb.param("mean2");
+            kb.loopStatic(_rows);
+            auto sum = kb.carry(Word{.f = 0.0}, true, "sum");
+            auto a = kb.fsub(kb.load(o_d, kb.affineP(0, _cols,
+                                                     {{p_c1, 1}})),
+                             kb.paramValue(p_m1));
+            auto b = kb.fsub(kb.load(o_d, kb.affineP(0, _cols,
+                                                     {{p_c2, 1}})),
+                             kb.paramValue(p_m2));
+            kb.setCarry(sum, kb.fadd(sum, kb.fmul(a, b)));
+            kb.markResult(sum);
+            _kCov = kb.build();
+        }
+    }
+
+    void
+    run(ExecContext &ctx) override
+    {
+        for (std::int64_t j = 0; j < _cols; ++j) {
+            ctx.invoke(_kMean, {_data}, {ExecContext::wi(j)});
+            ctx.hostStoreF(_mean, static_cast<std::uint64_t>(j),
+                           ctx.resultF(0) /
+                               static_cast<double>(_rows));
+            ctx.hostOps(4);
+        }
+        for (std::int64_t j = 0; j < _cols; ++j) {
+            const double mj =
+                ctx.hostLoadF(_mean, static_cast<std::uint64_t>(j));
+            for (std::int64_t k = j; k < _cols; ++k) {
+                const double mk =
+                    ctx.hostLoadF(_mean, static_cast<std::uint64_t>(k));
+                ctx.invoke(_kCov, {_data},
+                           {ExecContext::wi(j), ExecContext::wi(k),
+                            ExecContext::wf(mj), ExecContext::wf(mk)});
+                const double c =
+                    ctx.resultF(0) / static_cast<double>(_rows - 1);
+                ctx.hostStoreF(_cov,
+                               static_cast<std::uint64_t>(j * _cols + k),
+                               c);
+                ctx.hostStoreF(_cov,
+                               static_cast<std::uint64_t>(k * _cols + j),
+                               c);
+                ctx.hostOps(6);
+            }
+        }
+    }
+
+    bool
+    validate(System &sys) override
+    {
+        (void)sys;
+        return arrayMatchesF(_mean, _refMean, 0.0) &&
+               arrayMatchesF(_cov, _refCov, 0.0);
+    }
+
+    std::vector<const Kernel *>
+    kernels() const override
+    {
+        return {&_kMean, &_kCov};
+    }
+
+  private:
+    std::int64_t _rows, _cols;
+    ArrayRef _data, _mean, _cov;
+    Kernel _kMean, _kCov;
+    std::vector<double> _refMean, _refCov;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDisparity(double scale)
+{
+    return std::make_unique<Disparity>(scale);
+}
+
+std::unique_ptr<Workload>
+makeTracking(double scale)
+{
+    return std::make_unique<Tracking>(scale);
+}
+
+std::unique_ptr<Workload>
+makePca(double scale)
+{
+    return std::make_unique<Pca>(scale);
+}
+
+} // namespace distda::workloads

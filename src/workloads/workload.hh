@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload framework: each benchmark of Table IV provides setup (data
+ * and kernels), a host program (run), and output validation against a
+ * native reference computed on the side.
+ */
+
+#ifndef DISTDA_WORKLOADS_WORKLOAD_HH
+#define DISTDA_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compiler/dfg.hh"
+#include "src/driver/context.hh"
+#include "src/driver/system.hh"
+
+namespace distda::workloads
+{
+
+/** A benchmark instance. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Arena size needed (accelerator-visible slab). */
+    virtual std::uint64_t arenaBytes() const { return 64ULL << 20; }
+
+    /** Allocate arrays, generate inputs, build kernels. */
+    virtual void setup(driver::System &sys) = 0;
+
+    /** The host program (outer loops + kernel invocations). */
+    virtual void run(driver::ExecContext &ctx) = 0;
+
+    /** Compare outputs against the native reference. */
+    virtual bool validate(driver::System &sys) = 0;
+
+    /** The kernels this workload offloads (Tables V/VI). */
+    virtual std::vector<const compiler::Kernel *> kernels() const = 0;
+};
+
+/** Names of all registered workloads (Table IV order). */
+std::vector<std::string> workloadNames();
+
+/**
+ * Instantiate a workload. @p scale multiplies the default problem
+ * size; 1.0 is the suite default documented in EXPERIMENTS.md.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 1.0);
+
+} // namespace distda::workloads
+
+#endif // DISTDA_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the access units (Fig 2c): stream fill/drain FSM
+ * behaviour, multi-tap reuse accounting, sparse-stride specialization,
+ * window retention across rewinds, dirty-chunk draining, Mono-DA
+ * forwarding traffic, and the random-access run-ahead path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/accel/access_unit.hh"
+#include "src/energy/energy_model.hh"
+
+using namespace distda;
+using accel::AccessStats;
+using accel::StreamParams;
+using accel::StreamUnit;
+
+namespace
+{
+
+struct PortLog
+{
+    std::vector<std::pair<mem::Addr, bool>> calls;
+    sim::Tick latency = 10000;
+
+    accel::MemPort
+    fn()
+    {
+        return [this](mem::Addr a, std::uint32_t, bool w, sim::Tick) {
+            calls.push_back({a, w});
+            return latency;
+        };
+    }
+
+    double
+    fetches() const
+    {
+        double n = 0;
+        for (const auto &[a, w] : calls)
+            n += !w;
+        return n;
+    }
+
+    double
+    drains() const
+    {
+        double n = 0;
+        for (const auto &[a, w] : calls)
+            n += w;
+        return n;
+    }
+};
+
+StreamParams
+denseLoad(std::uint64_t total = 1024)
+{
+    StreamParams p;
+    p.base = 0x100000;
+    p.strideBytes = 8;
+    p.elemBytes = 8;
+    p.totalElems = total;
+    return p;
+}
+
+energy::Accountant acctForMesh;
+
+noc::Mesh &
+sharedMesh()
+{
+    static noc::Mesh mesh(noc::MeshParams{}, &acctForMesh);
+    return mesh;
+}
+
+} // namespace
+
+TEST(StreamUnit, DenseStreamFetchesLineGranules)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamUnit s(denseLoad(64), port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 64; ++k)
+        now = s.readAt(k, now, 0);
+    EXPECT_EQ(s.elemsPerFetch(), 8);
+    EXPECT_DOUBLE_EQ(port.fetches(), 8.0); // 64 elems / 8 per line
+    EXPECT_DOUBLE_EQ(stats.daBytes, 8.0 * 64.0);
+    EXPECT_DOUBLE_EQ(stats.intraBytes, 64.0 * 8.0);
+}
+
+TEST(StreamUnit, ReadyTimesAreMonotonicPerTap)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamUnit s(denseLoad(), port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 256; ++k) {
+        const sim::Tick t = s.readAt(k, now, 0);
+        EXPECT_GE(t, now);
+        now = t + 500;
+    }
+}
+
+TEST(StreamUnit, FollowerTapsHitTheWindow)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamUnit s(denseLoad(128), port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 128; ++k) {
+        now = s.readAt(k, now, 0);
+        now = s.readAt(k, now, 4); // follower 4 elements behind
+    }
+    // The follower adds no fetches beyond the lead tap's (plus the
+    // one prologue line below element 0).
+    EXPECT_LE(port.fetches(), 128.0 / 8.0 + 1.0);
+}
+
+TEST(StreamUnit, SparseStrideFetchesElementsOnly)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamParams p = denseLoad(64);
+    p.strideBytes = 512; // column-like stride
+    StreamUnit s(p, port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 64; ++k)
+        now = s.readAt(k, now, 0);
+    EXPECT_EQ(s.elemsPerFetch(), 1);
+    EXPECT_DOUBLE_EQ(port.fetches(), 64.0);
+    // Access specialization: 8B per fetch, not a 64B line.
+    EXPECT_DOUBLE_EQ(stats.daBytes, 64.0 * 8.0);
+}
+
+TEST(StreamUnit, LoopInvariantFetchesOnce)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamParams p = denseLoad(128);
+    p.strideBytes = 0;
+    StreamUnit s(p, port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 128; ++k)
+        now = s.readAt(k, now, 0);
+    EXPECT_DOUBLE_EQ(port.fetches(), 1.0);
+}
+
+TEST(StreamUnit, PrefetchHidesLatencyInSteadyState)
+{
+    PortLog port;
+    port.latency = 8000; // 8ns
+    AccessStats stats;
+    StreamUnit s(denseLoad(4096), port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    // Consume slowly (16ns per element): after warmup, reads must not
+    // stall on fetches.
+    sim::Tick stall = 0;
+    for (std::int64_t k = 0; k < 512; ++k) {
+        const sim::Tick t = s.readAt(k, now, 0);
+        if (k > 64)
+            stall += t - now;
+        now = t + 16000;
+    }
+    EXPECT_EQ(stall, 0u);
+}
+
+TEST(StreamUnit, StoreOnlyWriteAllocatesWithoutFetch)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamParams p = denseLoad(256);
+    p.hasLoads = false;
+    p.hasStores = true;
+    StreamUnit s(p, port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 256; ++k)
+        now = s.writeAt(k, now, 0) + 500;
+    EXPECT_DOUBLE_EQ(port.fetches(), 0.0);
+    s.flush(now);
+    // All 32 line-granules must eventually drain exactly once.
+    EXPECT_DOUBLE_EQ(port.drains(), 256.0 / 8.0);
+}
+
+TEST(StreamUnit, RmwFetchesOnceAndDrainsDirty)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamParams p = denseLoad(64);
+    p.hasStores = true;
+    StreamUnit s(p, port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 64; ++k) {
+        now = s.readAt(k, now, 0);
+        now = s.writeAt(k, now, 0) + 500;
+    }
+    const sim::Tick done = s.flush(now);
+    EXPECT_GE(done, now);
+    EXPECT_DOUBLE_EQ(port.fetches(), 8.0);
+    EXPECT_DOUBLE_EQ(port.drains(), 8.0);
+}
+
+TEST(StreamUnit, RewindRetainsFullyResidentWindow)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamUnit s(denseLoad(64), port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 64; ++k)
+        now = s.readAt(k, now, 0);
+    const double first_pass = port.fetches();
+    s.rewind(now);
+    for (std::int64_t k = 0; k < 64; ++k)
+        now = s.readAt(k, now, 0);
+    // Reuse across outer-loop iterations: no refetch.
+    EXPECT_DOUBLE_EQ(port.fetches(), first_pass);
+}
+
+TEST(StreamUnit, RewindDiscardsOversizedWindow)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamParams p = denseLoad(4096); // 32KB > 4KB buffer
+    StreamUnit s(p, port.fn(), &sharedMesh(), &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 4096; ++k)
+        now = s.readAt(k, now, 0);
+    const double first_pass = port.fetches();
+    s.rewind(now);
+    for (std::int64_t k = 0; k < 64; ++k)
+        now = s.readAt(k, now, 0);
+    EXPECT_GT(port.fetches(), first_pass);
+}
+
+TEST(StreamUnit, RemoteConsumerCountsForwardingTraffic)
+{
+    PortLog port;
+    AccessStats stats;
+    auto &mesh = sharedMesh();
+    const double aa_before = stats.aaBytes;
+    StreamParams p = denseLoad(64);
+    p.unitCluster = 0;
+    p.consumerCluster = 3;
+    StreamUnit s(p, port.fn(), &mesh, &stats);
+    sim::Tick now = 0;
+    for (std::int64_t k = 0; k < 64; ++k)
+        now = s.readAt(k, now, 0);
+    // Operand forward (8B) per element plus one batched 8B credit per
+    // chunk (8 elements/line).
+    EXPECT_DOUBLE_EQ(stats.aaBytes - aa_before,
+                     64.0 * 8.0 + (64.0 / 8.0) * 8.0);
+}
+
+TEST(RandomUnit, RunAheadHidesLatency)
+{
+    PortLog port;
+    port.latency = 20000;
+    AccessStats stats;
+    accel::RandomUnit ru(0, port.fn(), &stats, 500);
+    const sim::Tick exposed = ru.access(0x1000, 8, false, 0, 0);
+    const sim::Tick hidden = ru.access(0x2000, 8, false, 0, 48 * 500);
+    EXPECT_GT(exposed, hidden);
+    EXPECT_EQ(hidden, 500u); // translation cycle only
+}
+
+TEST(RandomUnit, WritesArePosted)
+{
+    PortLog port;
+    port.latency = 20000;
+    AccessStats stats;
+    accel::RandomUnit ru(0, port.fn(), &stats, 500);
+    const sim::Tick done = ru.access(0x1000, 8, true, 0, 0);
+    EXPECT_EQ(done, 500u);
+    EXPECT_DOUBLE_EQ(port.drains(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.daBytes, 8.0);
+}
+
+TEST(StreamUnit, WrongDirectionPanics)
+{
+    PortLog port;
+    AccessStats stats;
+    StreamUnit load_only(denseLoad(), port.fn(), &sharedMesh(), &stats);
+    EXPECT_DEATH((void)load_only.writeAt(0, 0, 0), "writeAt");
+    StreamParams p = denseLoad();
+    p.hasLoads = false;
+    p.hasStores = true;
+    StreamUnit store_only(p, port.fn(), &sharedMesh(), &stats);
+    EXPECT_DEATH((void)store_only.readAt(0, 0, 0), "store-only");
+}

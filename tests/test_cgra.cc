@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the CGRA fabric model and static mapper: initiation
+ * interval properties (ResMII from FU contention, RecMII from carried
+ * recurrences), folding for oversized DFGs and the §VI-E area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cgra/cgra.hh"
+
+using namespace distda;
+using compiler::MicroInst;
+using compiler::MicroKind;
+using compiler::MicroProgram;
+using compiler::OpCode;
+
+namespace
+{
+
+MicroInst
+alu(OpCode op, std::uint16_t dst, std::uint16_t a, std::uint16_t b)
+{
+    MicroInst i;
+    i.kind = MicroKind::Alu;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    return i;
+}
+
+MicroProgram
+programOf(std::vector<MicroInst> insts, int regs)
+{
+    MicroProgram p;
+    p.insts = std::move(insts);
+    p.numRegs = regs;
+    return p;
+}
+
+} // namespace
+
+TEST(CgraMapper, EmptyProgramIsTrivial)
+{
+    const auto m = cgra::mapProgram(MicroProgram{}, cgra::CgraParams{});
+    EXPECT_EQ(m.ii, 1);
+    EXPECT_EQ(m.opsMapped, 0);
+}
+
+TEST(CgraMapper, SmallDfgAchievesIiOne)
+{
+    // 4 independent integer ops on 15 int FUs.
+    std::vector<MicroInst> insts;
+    for (std::uint16_t i = 0; i < 4; ++i)
+        insts.push_back(alu(OpCode::IAdd, static_cast<std::uint16_t>(
+                                              10 + i),
+                            i, i));
+    const auto m = cgra::mapProgram(programOf(insts, 16),
+                                    cgra::CgraParams{});
+    EXPECT_EQ(m.resMii, 1);
+    EXPECT_EQ(m.ii, 1);
+    EXPECT_EQ(m.tilesUsed, 4);
+}
+
+TEST(CgraMapper, FloatContentionRaisesResMii)
+{
+    // 9 FP adds on 4 float FUs -> ResMII = ceil(9/4) = 3.
+    std::vector<MicroInst> insts;
+    for (std::uint16_t i = 0; i < 9; ++i)
+        insts.push_back(alu(OpCode::FAdd,
+                            static_cast<std::uint16_t>(10 + i), 0, 1));
+    const auto m = cgra::mapProgram(programOf(insts, 20),
+                                    cgra::CgraParams{});
+    EXPECT_EQ(m.resMii, 3);
+    EXPECT_GE(m.ii, 3);
+}
+
+TEST(CgraMapper, LargeFabricLowersContention)
+{
+    std::vector<MicroInst> insts;
+    for (std::uint16_t i = 0; i < 9; ++i)
+        insts.push_back(alu(OpCode::FAdd,
+                            static_cast<std::uint16_t>(10 + i), 0, 1));
+    const auto small = cgra::mapProgram(programOf(insts, 20),
+                                        cgra::CgraParams{});
+    const auto large = cgra::mapProgram(programOf(insts, 20),
+                                        cgra::CgraParams::large());
+    EXPECT_LT(large.resMii, small.resMii);
+}
+
+TEST(CgraMapper, RecurrenceRaisesRecMii)
+{
+    // r2 = r2 chain: c = a+b; d = c+b; carry write d -> depth 2.
+    std::vector<MicroInst> insts;
+    insts.push_back(alu(OpCode::FAdd, 3, 2, 1)); // reads carry reg 2
+    insts.push_back(alu(OpCode::FAdd, 4, 3, 1));
+    MicroInst cw;
+    cw.kind = MicroKind::CarryWrite;
+    cw.a = 4;
+    cw.slot = 0;
+    insts.push_back(cw);
+    MicroProgram p = programOf(insts, 8);
+    p.carries.push_back(compiler::CarrySlot{2, compiler::Word{0},
+                                            true, 0});
+    const auto m = cgra::mapProgram(p, cgra::CgraParams{});
+    EXPECT_GE(m.recMii, 2);
+    EXPECT_GE(m.ii, m.recMii);
+}
+
+TEST(CgraMapper, OversizedDfgFolds)
+{
+    std::vector<MicroInst> insts;
+    for (int i = 0; i < 60; ++i)
+        insts.push_back(alu(OpCode::IAdd,
+                            static_cast<std::uint16_t>(i + 1), 0, 0));
+    const auto m = cgra::mapProgram(programOf(insts, 64),
+                                    cgra::CgraParams{}); // 25 tiles
+    EXPECT_GE(m.folds, 3);
+    EXPECT_GE(m.ii, m.folds);
+}
+
+TEST(CgraMapper, MemOpsShareDoublePumpedPorts)
+{
+    std::vector<MicroInst> insts;
+    for (int i = 0; i < 8; ++i) {
+        MicroInst mi;
+        mi.kind = MicroKind::LoadStream;
+        mi.dst = static_cast<std::uint16_t>(i);
+        mi.slot = i;
+        insts.push_back(mi);
+    }
+    const auto m = cgra::mapProgram(programOf(insts, 8),
+                                    cgra::CgraParams{}); // 2 ports
+    EXPECT_EQ(m.resMii, 2); // 8 ops / (2 ports * 2 per cycle)
+}
+
+TEST(CgraArea, MatchesPaperPercentages)
+{
+    const cgra::AreaModel area;
+    const double io = area.ioAcceleratorMm2();
+    const double f5 =
+        area.cgraAcceleratorMm2(cgra::CgraParams{});
+    EXPECT_NEAR(100.0 * area.clusterFraction(io), 1.9, 0.15);
+    EXPECT_NEAR(100.0 * area.chipFraction(io), 0.3, 0.05);
+    EXPECT_NEAR(100.0 * area.clusterFraction(f5), 2.9, 0.15);
+    EXPECT_NEAR(100.0 * area.chipFraction(f5), 0.48, 0.05);
+}
+
+TEST(CgraArea, LargerFabricCostsMore)
+{
+    const cgra::AreaModel area;
+    EXPECT_GT(area.cgraAcceleratorMm2(cgra::CgraParams::large()),
+              area.cgraAcceleratorMm2(cgra::CgraParams{}));
+}
+
+TEST(CgraFuClass, InstKindsMapToUnits)
+{
+    MicroInst mi;
+    mi.kind = MicroKind::Alu;
+    mi.op = OpCode::FDiv;
+    EXPECT_EQ(cgra::fuClassOfInst(mi), compiler::FuClass::Complex);
+    mi.op = OpCode::FMul;
+    EXPECT_EQ(cgra::fuClassOfInst(mi), compiler::FuClass::Float);
+    mi.op = OpCode::IAdd;
+    EXPECT_EQ(cgra::fuClassOfInst(mi), compiler::FuClass::Int);
+    mi.kind = MicroKind::LoadStream;
+    EXPECT_EQ(cgra::fuClassOfInst(mi), compiler::FuClass::Mem);
+    mi.kind = MicroKind::Consume;
+    EXPECT_EQ(cgra::fuClassOfInst(mi), compiler::FuClass::Ctrl);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Driver-layer tests: the architecture-model-to-configuration mapping
+ * of §VI-A, metrics arithmetic, ablation-knob plumbing and the system
+ * facade (slab-backed allocation, affinity striping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/runner.hh"
+#include "src/driver/system.hh"
+
+using namespace distda;
+using driver::ArchModel;
+using driver::RunConfig;
+
+TEST(Config, ModelsMapToPaperConfigurations)
+{
+    RunConfig ooo;
+    ooo.model = ArchModel::OoO;
+    EXPECT_FALSE(ooo.usesAccelerator());
+
+    RunConfig ca;
+    ca.model = ArchModel::MonoCA;
+    auto ca_engine = ca.engineConfig();
+    EXPECT_TRUE(ca_engine.centralizedAccess);
+    EXPECT_EQ(ca_engine.privateCacheBytes, 8u * 1024u);
+    EXPECT_FALSE(ca.compileOptions().partition);
+    EXPECT_EQ(ca_engine.accelClockHz, 2'000'000'000ULL);
+
+    RunConfig mono_f;
+    mono_f.model = ArchModel::MonoDA_F;
+    auto mf = mono_f.engineConfig();
+    EXPECT_EQ(mf.kind, engine::ActorKind::Cgra);
+    EXPECT_EQ(mf.fabric.rows, 8); // the large Mono-DA-F fabric
+    EXPECT_EQ(mf.accelClockHz, 1'000'000'000ULL);
+    EXPECT_FALSE(mono_f.compileOptions().partition);
+    EXPECT_FALSE(mf.distributedCompute);
+
+    RunConfig dist_io;
+    dist_io.model = ArchModel::DistDA_IO;
+    auto di = dist_io.engineConfig();
+    EXPECT_EQ(di.kind, engine::ActorKind::InOrder);
+    EXPECT_EQ(di.accelClockHz, 2'000'000'000ULL);
+    EXPECT_TRUE(dist_io.compileOptions().partition);
+    EXPECT_TRUE(di.distributedCompute);
+
+    RunConfig sw;
+    sw.model = ArchModel::DistDA_IO_SW;
+    auto sw_engine = sw.engineConfig();
+    EXPECT_EQ(sw_engine.issueWidth, 4);
+    EXPECT_TRUE(sw_engine.swPrefetch);
+
+    RunConfig fa;
+    fa.model = ArchModel::DistDA_F_A;
+    EXPECT_TRUE(fa.allocAffinity());
+}
+
+TEST(Config, ClockOverrideApplies)
+{
+    RunConfig cfg;
+    cfg.model = ArchModel::DistDA_IO;
+    cfg.accelGHz = 3.0;
+    EXPECT_EQ(cfg.engineConfig().accelClockHz, 3'000'000'000ULL);
+}
+
+TEST(Config, AblationKnobsReachBothLayers)
+{
+    RunConfig cfg;
+    cfg.model = ArchModel::DistDA_F;
+    cfg.disableCombining = true;
+    cfg.disableRetention = true;
+    cfg.bufferBytesOverride = 1024;
+    cfg.channelCapacityOverride = 4;
+    EXPECT_FALSE(cfg.compileOptions().enableCombining);
+    EXPECT_EQ(cfg.compileOptions().bufferBytes, 1024u);
+    auto e = cfg.engineConfig();
+    EXPECT_FALSE(e.retainBuffers);
+    EXPECT_EQ(e.clusterBufferBytes, 1024u);
+    EXPECT_EQ(e.channelCapacity, 4);
+}
+
+TEST(Config, HeadlineModelListMatchesPaperOrder)
+{
+    const auto models = driver::headlineModels();
+    ASSERT_EQ(models.size(), 6u);
+    EXPECT_STREQ(archModelName(models.front()), "OoO");
+    EXPECT_STREQ(archModelName(models.back()), "Dist-DA-F");
+}
+
+TEST(Metrics, DerivedQuantities)
+{
+    driver::Metrics m;
+    m.timeNs = 1000.0;
+    m.hostInsts = 500.0;
+    m.accelInsts = 1500.0;
+    m.kernelMemOps = 900.0;
+    m.hostMemOps = 100.0;
+    m.mmioOps = 10.0;
+    EXPECT_DOUBLE_EQ(m.totalInsts(), 2000.0);
+    EXPECT_DOUBLE_EQ(m.ipc(), 1.0); // 2000 insts / 2000 cycles @2GHz
+    EXPECT_DOUBLE_EQ(m.codeCoverage(), 75.0);
+    EXPECT_DOUBLE_EQ(m.dataCoverage(), 90.0);
+    EXPECT_DOUBLE_EQ(m.initOverhead(), 1.0);
+
+    driver::Metrics base;
+    base.timeNs = 2000.0;
+    base.totalEnergyPj = 400.0;
+    m.totalEnergyPj = 100.0;
+    EXPECT_DOUBLE_EQ(m.speedupVs(base), 2.0);
+    EXPECT_DOUBLE_EQ(m.energyEfficiencyVs(base), 4.0);
+}
+
+TEST(Runner, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(driver::geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(driver::geomean({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(driver::geomean({}), 0.0);
+}
+
+TEST(System, AllocationsAreDisjointAndTracked)
+{
+    driver::System sys{driver::SystemParams{}};
+    auto a = sys.alloc("a", 1024, 8, true);
+    auto b = sys.alloc("b", 1024, 4, false);
+    EXPECT_GE(b.base, a.base + a.sizeBytes());
+    EXPECT_EQ(sys.objects().size(), 2u);
+    EXPECT_EQ(sys.slab().liveAllocations(), 2u);
+    // The backend serves both.
+    a.setF(0, 1.5);
+    b.setI(0, -3);
+    EXPECT_DOUBLE_EQ(a.getF(0), 1.5);
+    EXPECT_EQ(b.getI(0), -3);
+}
+
+TEST(System, AffinityStripesAcrossClusters)
+{
+    driver::SystemParams sp;
+    sp.allocAffinity = true;
+    driver::System sys(sp);
+    auto big = sys.alloc("big", 1 << 16, 8, true); // 512KB
+    std::set<int> clusters;
+    for (std::uint64_t off = 0; off < big.sizeBytes();
+         off += 32 * 1024)
+        clusters.insert(sys.hier().l3().clusterOf(big.base + off));
+    // 32KB striping: a 512KB object touches many clusters, never one.
+    EXPECT_GE(clusters.size(), 4u);
+}
+
+TEST(Runner, InvalidWorkloadIsFatal)
+{
+    RunConfig cfg;
+    EXPECT_DEATH((void)driver::runWorkload("bogus", cfg), "unknown");
+}

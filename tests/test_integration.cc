@@ -1,0 +1,85 @@
+/**
+ * @file
+ * End-to-end integration: every Table IV workload runs to completion
+ * under every tested architecture configuration and its outputs match
+ * the native reference ("all our applications with accelerator
+ * offloads are validated by execution until program completion").
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/runner.hh"
+#include "src/sim/logging.hh"
+#include "src/workloads/workload.hh"
+
+using namespace distda;
+
+namespace
+{
+
+struct Case
+{
+    std::string workload;
+    driver::ArchModel model;
+};
+
+std::string
+caseName(const testing::TestParamInfo<Case> &info)
+{
+    std::string name = info.param.workload + "_" +
+                       driver::archModelName(info.param.model);
+    for (char &c : name) {
+        if (c == '-' || c == '+')
+            c = '_';
+    }
+    return name;
+}
+
+class WorkloadConfig : public testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadConfig, ValidatesAndProgresses)
+{
+    setInformEnabled(false);
+    driver::RunConfig cfg;
+    cfg.model = GetParam().model;
+    driver::RunOptions opts;
+    opts.scale = 0.25; // small inputs keep the suite fast
+
+    driver::Metrics m =
+        driver::runWorkload(GetParam().workload, cfg, opts);
+
+    EXPECT_TRUE(m.validated) << GetParam().workload << " under "
+                             << archModelName(cfg.model);
+    EXPECT_GT(m.timeNs, 0.0);
+    EXPECT_GT(m.totalEnergyPj, 0.0);
+    EXPECT_GT(m.kernelMemOps, 0.0);
+    if (cfg.usesAccelerator()) {
+        EXPECT_GT(m.accelInsts, 0.0);
+        EXPECT_GT(m.mmioOps, 0.0);
+        EXPECT_GT(m.daBytes + m.intraBytes, 0.0);
+    } else {
+        EXPECT_EQ(m.accelInsts, 0.0);
+    }
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const std::string &w : workloads::workloadNames()) {
+        for (driver::ArchModel m : driver::headlineModels())
+            cases.push_back({w, m});
+        cases.push_back({w, driver::ArchModel::DistDA_IO_SW});
+        cases.push_back({w, driver::ArchModel::DistDA_F_A});
+    }
+    for (driver::ArchModel m : driver::headlineModels())
+        cases.push_back({"spmv", m});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadConfig,
+                         testing::ValuesIn(allCases()), caseName);
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the mesh NoC: XY routing properties over every node
+ * pair, latency/serialization behaviour, traffic-class byte
+ * conservation, multicast link sharing and the energy charge per
+ * flit-hop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/noc/mesh.hh"
+
+using namespace distda;
+
+namespace
+{
+
+noc::Mesh
+makeMesh(energy::Accountant *acct)
+{
+    return noc::Mesh(noc::MeshParams{}, acct);
+}
+
+} // namespace
+
+TEST(Mesh, HopCountIsManhattanDistance)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    for (int a = 0; a < 8; ++a) {
+        for (int b = 0; b < 8; ++b) {
+            const int ax = a % 4, ay = a / 4;
+            const int bx = b % 4, by = b / 4;
+            EXPECT_EQ(mesh.hops(a, b),
+                      std::abs(ax - bx) + std::abs(ay - by));
+            EXPECT_EQ(mesh.hops(a, b), mesh.hops(b, a));
+        }
+    }
+}
+
+TEST(Mesh, LocalDeliveryIsFree)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    auto r = mesh.transfer(3, 3, 64, noc::TrafficClass::Data, 0);
+    EXPECT_EQ(r.latency, 0u);
+    EXPECT_EQ(r.hops, 0);
+    // Bytes are still accounted (the class totals feed Fig 9/10).
+    EXPECT_DOUBLE_EQ(mesh.bytesInClass(noc::TrafficClass::Data), 64.0);
+    EXPECT_DOUBLE_EQ(acct.componentPj(energy::Component::Noc), 0.0);
+}
+
+TEST(Mesh, LatencyGrowsWithDistanceAndSize)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    const auto near = mesh.transfer(0, 1, 8, noc::TrafficClass::Data,
+                                    0);
+    const auto far = mesh.transfer(0, 7, 8, noc::TrafficClass::Data,
+                                   1000000);
+    EXPECT_GT(far.latency, near.latency);
+    const auto small = mesh.transfer(0, 1, 8, noc::TrafficClass::Data,
+                                     2000000);
+    const auto big = mesh.transfer(0, 1, 512, noc::TrafficClass::Data,
+                                   3000000);
+    EXPECT_GT(big.latency, small.latency);
+}
+
+TEST(Mesh, ClassesAccountedSeparately)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    mesh.transfer(0, 1, 10, noc::TrafficClass::Ctrl, 0);
+    mesh.transfer(0, 1, 20, noc::TrafficClass::Data, 0);
+    mesh.transfer(0, 1, 30, noc::TrafficClass::AccCtrl, 0);
+    mesh.transfer(0, 1, 40, noc::TrafficClass::AccData, 0);
+    EXPECT_DOUBLE_EQ(mesh.bytesInClass(noc::TrafficClass::Ctrl), 10.0);
+    EXPECT_DOUBLE_EQ(mesh.bytesInClass(noc::TrafficClass::Data), 20.0);
+    EXPECT_DOUBLE_EQ(mesh.bytesInClass(noc::TrafficClass::AccCtrl),
+                     30.0);
+    EXPECT_DOUBLE_EQ(mesh.bytesInClass(noc::TrafficClass::AccData),
+                     40.0);
+    EXPECT_DOUBLE_EQ(mesh.totalBytes(), 100.0);
+}
+
+TEST(Mesh, EnergyPerFlitHop)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    // 16 bytes = 2 flits over 2 hops.
+    mesh.transfer(0, 2, 16, noc::TrafficClass::Data, 0);
+    EXPECT_DOUBLE_EQ(acct.componentPj(energy::Component::Noc),
+                     2.0 * 2.0 * acct.params().nocHopFlitPj);
+}
+
+TEST(Mesh, ContentionDelaysBackToBackTransfers)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    const auto first = mesh.transfer(0, 3, 512,
+                                     noc::TrafficClass::Data, 0);
+    const auto second = mesh.transfer(0, 3, 512,
+                                      noc::TrafficClass::Data, 0);
+    EXPECT_GT(second.latency, first.latency);
+}
+
+TEST(Mesh, ResetClearsCountersAndBusyState)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    mesh.transfer(0, 3, 512, noc::TrafficClass::Data, 0);
+    mesh.reset();
+    EXPECT_DOUBLE_EQ(mesh.totalBytes(), 0.0);
+    const auto again = mesh.transfer(0, 3, 512,
+                                     noc::TrafficClass::Data, 0);
+    const auto fresh_mesh_latency =
+        makeMesh(&acct).transfer(0, 3, 512, noc::TrafficClass::Data, 0)
+            .latency;
+    EXPECT_EQ(again.latency, fresh_mesh_latency);
+}
+
+TEST(Mesh, MulticastChargesSharedLinksOnce)
+{
+    energy::Accountant acct1, acct2;
+    auto m1 = makeMesh(&acct1);
+    auto m2 = makeMesh(&acct2);
+    // Destinations along one path share every link.
+    m1.multicast(0, {1, 2, 3}, 8, noc::TrafficClass::AccData, 0);
+    // Equivalent unicasts traverse 1+2+3 = 6 hops.
+    m2.transfer(0, 1, 8, noc::TrafficClass::AccData, 0);
+    m2.transfer(0, 2, 8, noc::TrafficClass::AccData, 0);
+    m2.transfer(0, 3, 8, noc::TrafficClass::AccData, 0);
+    EXPECT_LT(acct1.componentPj(energy::Component::Noc),
+              acct2.componentPj(energy::Component::Noc));
+}
+
+TEST(Mesh, BadNodePanics)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    EXPECT_DEATH((void)mesh.hops(0, 8), "node");
+}
+
+class MeshGeometry
+    : public testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshGeometry, TriangleInequalityOnHops)
+{
+    energy::Accountant acct;
+    auto mesh = makeMesh(&acct);
+    const auto [a, b] = GetParam();
+    for (int mid = 0; mid < 8; ++mid) {
+        EXPECT_LE(mesh.hops(a, b),
+                  mesh.hops(a, mid) + mesh.hops(mid, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MeshGeometry,
+    testing::Values(std::make_pair(0, 7), std::make_pair(3, 4),
+                    std::make_pair(1, 6), std::make_pair(2, 2)));

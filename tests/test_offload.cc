@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the Table II interface layer: MMIO accounting, the
+ * hardware scheduler's buffer allocation table and Fig 2d combining
+ * rule, posted-vs-synchronous intrinsic latency, and the runtime's
+ * per-invocation orchestration (allocation once, parameters and run
+ * per invocation, done token, result read-back).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/context.hh"
+#include "src/driver/system.hh"
+#include "src/offload/interface.hh"
+#include "src/offload/runtime.hh"
+
+using namespace distda;
+using compiler::KernelBuilder;
+using compiler::Word;
+using offload::AccelScheduler;
+using offload::CoprocessorInterface;
+
+TEST(Scheduler, StreamAllocationPopulatesTable)
+{
+    AccelScheduler sched;
+    const int buf = sched.allocStream(7, 2, 0x1000, 8, 4096, 4096);
+    EXPECT_EQ(sched.bufOf(7), buf);
+    EXPECT_EQ(sched.table().at(buf).cluster, 2);
+    EXPECT_EQ(sched.liveBuffers(), 1u);
+}
+
+TEST(Scheduler, CombinesOverlappingStrides)
+{
+    // Fig 2d case 1: same stride, distance within the buffer window.
+    AccelScheduler sched;
+    const int b1 = sched.allocStream(0, 1, 0x1000, 8, 65536, 4096);
+    const int b2 = sched.allocStream(1, 1, 0x1010, 8, 65536, 4096);
+    EXPECT_EQ(b1, b2);
+    EXPECT_EQ(sched.liveBuffers(), 1u);
+}
+
+TEST(Scheduler, DistributesDistantAccesses)
+{
+    // Fig 2d case 2: distance exceeds the buffer overflow limit.
+    AccelScheduler sched;
+    const int b1 = sched.allocStream(0, 1, 0x1000, 8, 65536, 4096);
+    const int b2 =
+        sched.allocStream(1, 1, 0x1000 + 64 * 1024, 8, 65536, 4096);
+    EXPECT_NE(b1, b2);
+}
+
+TEST(Scheduler, NoCombiningAcrossClustersOrStrides)
+{
+    AccelScheduler sched;
+    const int b1 = sched.allocStream(0, 1, 0x1000, 8, 65536, 4096);
+    const int b2 = sched.allocStream(1, 2, 0x1008, 8, 65536, 4096);
+    const int b3 = sched.allocStream(2, 1, 0x1008, 16, 65536, 4096);
+    EXPECT_NE(b1, b2);
+    EXPECT_NE(b1, b3);
+}
+
+TEST(Scheduler, FreeRemovesMappings)
+{
+    AccelScheduler sched;
+    const int buf = sched.allocStream(0, 1, 0x1000, 8, 65536, 4096);
+    sched.free(buf);
+    EXPECT_EQ(sched.bufOf(0), -1);
+    EXPECT_EQ(sched.liveBuffers(), 0u);
+    EXPECT_DEATH(sched.free(buf), "unknown");
+}
+
+TEST(Scheduler, CombineRuleBoundary)
+{
+    EXPECT_TRUE(AccelScheduler::shouldCombine(0, 4096));
+    EXPECT_TRUE(AccelScheduler::shouldCombine(4096 - 64, 4096));
+    EXPECT_FALSE(AccelScheduler::shouldCombine(4096, 4096));
+    EXPECT_FALSE(AccelScheduler::shouldCombine(-1, 4096));
+}
+
+TEST(Interface, MmioOpsAndEnergyCounted)
+{
+    energy::Accountant acct;
+    mem::Hierarchy hier(mem::HierarchyParams{}, &acct);
+    CoprocessorInterface iface(&hier, &acct);
+    sim::Tick t = 0;
+    t = iface.cpConfig(3, 128, t);
+    t = iface.cpSetRf(3, 0, Word{}, t);
+    t = iface.cpRun(3, t);
+    EXPECT_DOUBLE_EQ(iface.mmioOps(), 3.0);
+    EXPECT_DOUBLE_EQ(acct.componentPj(energy::Component::Mmio),
+                     3.0 * acct.params().mmioPj);
+    EXPECT_DOUBLE_EQ(iface.configBytes(), 128.0);
+}
+
+TEST(Interface, PostedWritesAreCheapSyncOpsWait)
+{
+    energy::Accountant acct;
+    mem::Hierarchy hier(mem::HierarchyParams{}, &acct);
+    CoprocessorInterface iface(&hier, &acct);
+    const sim::Tick posted = iface.cpSetRf(7, 0, Word{}, 0);
+    EXPECT_EQ(posted, 500u); // one host issue cycle
+    const sim::Tick sync = iface.cpRun(7, 1000000);
+    EXPECT_GT(sync - 1000000, 500u); // round trip over the NoC
+}
+
+TEST(Interface, ConfigTrafficRidesCtrlClass)
+{
+    energy::Accountant acct;
+    mem::Hierarchy hier(mem::HierarchyParams{}, &acct);
+    CoprocessorInterface iface(&hier, &acct);
+    iface.cpConfig(5, 256, 0);
+    EXPECT_GT(hier.mesh().bytesInClass(noc::TrafficClass::Ctrl),
+              256.0);
+    EXPECT_DOUBLE_EQ(hier.mesh().bytesInClass(noc::TrafficClass::Data),
+                     0.0);
+}
+
+namespace
+{
+
+compiler::Kernel
+makeTinyKernel()
+{
+    KernelBuilder kb("tiny");
+    const int a = kb.object("A", 512, 8, true);
+    const int b = kb.object("B", 512, 8, true);
+    const int ps = kb.param("s");
+    kb.loopStatic(256);
+    kb.store(b, kb.affine(0, 1),
+             kb.fmul(kb.paramValue(ps), kb.load(a, kb.affine(0, 1))));
+    return kb.build();
+}
+
+} // namespace
+
+TEST(Runtime, AllocatesOnceParamsEveryInvocation)
+{
+    setInformEnabled(false);
+    driver::SystemParams sp;
+    driver::System sys(sp);
+    auto arr_a = sys.alloc("A", 512, 8, true);
+    auto arr_b = sys.alloc("B", 512, 8, true);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        arr_a.setF(i, 1.0);
+
+    const auto plan = compiler::compileKernel(makeTinyKernel());
+    driver::RunConfig cfg;
+    cfg.model = driver::ArchModel::DistDA_IO;
+    offload::OffloadRuntime rt(plan, cfg.engineConfig(), &sys.hier(),
+                               &sys.backend(), &sys.acct());
+
+    auto r1 = rt.invoke({arr_a, arr_b},
+                        {driver::ExecContext::wf(2.0)}, 0);
+    const double after_first = rt.mmioOps();
+    auto r2 = rt.invoke({arr_a, arr_b}, {driver::ExecContext::wf(3.0)},
+                        r1.endTick);
+    const double per_invoke = rt.mmioOps() - after_first;
+    // The first invocation also pays cp_config / cp_config_stream.
+    EXPECT_GT(after_first, per_invoke);
+    EXPECT_GT(per_invoke, 0.0);
+    EXPECT_GT(r2.endTick, r1.endTick);
+    EXPECT_EQ(arr_b.getF(0), 3.0);
+}
+
+TEST(Runtime, ReleaseForcesReallocation)
+{
+    setInformEnabled(false);
+    driver::SystemParams sp;
+    driver::System sys(sp);
+    auto arr_a = sys.alloc("A", 512, 8, true);
+    auto arr_b = sys.alloc("B", 512, 8, true);
+
+    const auto plan = compiler::compileKernel(makeTinyKernel());
+    driver::RunConfig cfg;
+    cfg.model = driver::ArchModel::DistDA_IO;
+    offload::OffloadRuntime rt(plan, cfg.engineConfig(), &sys.hier(),
+                               &sys.backend(), &sys.acct());
+    auto r1 = rt.invoke({arr_a, arr_b},
+                        {driver::ExecContext::wf(1.0)}, 0);
+    const double first = rt.mmioOps();
+    rt.invoke({arr_a, arr_b}, {driver::ExecContext::wf(1.0)},
+              r1.endTick);
+    const double steady = rt.mmioOps() - first;
+    rt.release();
+    const double before = rt.mmioOps();
+    rt.invoke({arr_a, arr_b}, {driver::ExecContext::wf(1.0)},
+              r1.endTick * 3);
+    EXPECT_GT(rt.mmioOps() - before, steady);
+}
+
+TEST(Runtime, ResultCarriesReadBack)
+{
+    setInformEnabled(false);
+    KernelBuilder kb("dotk");
+    const int a = kb.object("A", 256, 8, true);
+    kb.loopStatic(256);
+    auto sum = kb.carry(Word{.f = 0.0}, true);
+    kb.setCarry(sum, kb.fadd(sum, kb.load(a, kb.affine(0, 1))));
+    kb.markResult(sum);
+    const auto plan = compiler::compileKernel(kb.build());
+
+    driver::SystemParams sp;
+    driver::System sys(sp);
+    auto arr = sys.alloc("A", 256, 8, true);
+    for (std::uint64_t i = 0; i < 256; ++i)
+        arr.setF(i, 0.5);
+    driver::RunConfig cfg;
+    cfg.model = driver::ArchModel::DistDA_IO;
+    offload::OffloadRuntime rt(plan, cfg.engineConfig(), &sys.hier(),
+                               &sys.backend(), &sys.acct());
+    auto res = rt.invoke({arr}, {}, 0);
+    ASSERT_EQ(res.results.size(), 1u);
+    EXPECT_DOUBLE_EQ(res.results[0].second.f, 128.0);
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: event queue ordering, clock
+ * domains, deterministic RNG and the stats framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/ticks.hh"
+#include "src/sim/trace.hh"
+
+#include <set>
+
+using namespace distda;
+using sim::Tick;
+
+TEST(EventQueue, RunsInTickOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&order] { order.push_back(3); });
+    eq.schedule(10, [&order] { order.push_back(1); });
+    eq.schedule(20, [&order] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, EqualTicksFifo)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 15u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    sim::EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    sim::EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+class ClockDomainFreq : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(ClockDomainFreq, RoundTripsCycles)
+{
+    const auto clock = sim::gigahertz(GetParam());
+    for (sim::Cycles c : {1ul, 2ul, 10ul, 1000ul, 123457ul}) {
+        const Tick t = clock.cyclesToTicks(c);
+        EXPECT_EQ(clock.ticksToCycles(t), c);
+        EXPECT_EQ(t % clock.period(), 0u);
+    }
+}
+
+TEST_P(ClockDomainFreq, ClockEdgeIsAligned)
+{
+    const auto clock = sim::gigahertz(GetParam());
+    for (Tick t : {0ul, 1ul, 499ul, 500ul, 12345ul}) {
+        const Tick edge = clock.clockEdge(t);
+        EXPECT_GE(edge, t);
+        EXPECT_EQ(edge % clock.period(), 0u);
+        EXPECT_LT(edge - t, clock.period());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, ClockDomainFreq,
+                         testing::Values(1.0, 2.0, 3.0, 0.5));
+
+TEST(Rng, Deterministic)
+{
+    sim::Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    sim::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysBounded)
+{
+    sim::Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(97), 97u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    sim::Rng rng(9);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_LT(lo, 0.05);
+    EXPECT_GT(hi, 0.95);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Group g("test");
+    auto &s = g.add("counter");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(g.get("counter").value(), 3.5);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.get("counter").value(), 0.0);
+}
+
+TEST(Stats, ChildLookupByPath)
+{
+    stats::Group parent("sys");
+    stats::Group child("cache");
+    child.add("hits") = 7.0;
+    parent.addChild(&child);
+    EXPECT_DOUBLE_EQ(parent.value("cache.hits"), 7.0);
+}
+
+TEST(Stats, DumpFlattensNames)
+{
+    stats::Group parent("sys");
+    stats::Group child("noc");
+    parent.add("time") = 1.0;
+    child.add("bytes") = 2.0;
+    parent.addChild(&child);
+    const auto dump = parent.dump();
+    ASSERT_EQ(dump.size(), 2u);
+    EXPECT_EQ(dump[0].first, "sys.time");
+    EXPECT_EQ(dump[1].first, "sys.noc.bytes");
+}
+
+TEST(Stats, MissingStatPanics)
+{
+    stats::Group g("test");
+    EXPECT_DEATH((void)g.get("nope"), "not found");
+}
+
+TEST(Trace, FlagParsingAndEnable)
+{
+    trace::setEnabled(trace::Flag::Stream, false);
+    trace::setEnabled(trace::Flag::Actor, false);
+    EXPECT_FALSE(trace::enabled(trace::Flag::Stream));
+    trace::enableFromList("Stream,Actor");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Stream));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Actor));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Noc));
+    trace::setEnabled(trace::Flag::Stream, false);
+    trace::setEnabled(trace::Flag::Actor, false);
+}
+
+TEST(Trace, FlagNamesUnique)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(trace::Flag::NumFlags); ++i)
+        names.insert(trace::flagName(static_cast<trace::Flag>(i)));
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(trace::Flag::NumFlags));
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Command-line runner: execute any Table IV workload under any tested
+ * configuration and print the full metrics record.
+ *
+ * Usage:
+ *   distda_run [--list] [--workload=<name>] [--config=<model>]
+ *              [--scale=<f>] [--ghz=<f>] [--csv]
+ *              [--no-combining] [--no-retention]
+ *              [--buffer=<bytes>] [--channel=<elems>]
+ *
+ * Examples:
+ *   distda_run --workload=fdt --config=Dist-DA-F
+ *   distda_run --workload=bfs --config=all --csv
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/driver/runner.hh"
+#include "src/workloads/workload.hh"
+
+using namespace distda;
+
+namespace
+{
+
+driver::ArchModel
+parseModel(const std::string &name)
+{
+    const driver::ArchModel all[] = {
+        driver::ArchModel::OoO,          driver::ArchModel::MonoCA,
+        driver::ArchModel::MonoDA_IO,    driver::ArchModel::MonoDA_F,
+        driver::ArchModel::DistDA_IO,    driver::ArchModel::DistDA_F,
+        driver::ArchModel::DistDA_IO_SW, driver::ArchModel::DistDA_F_A,
+    };
+    for (driver::ArchModel m : all) {
+        if (name == driver::archModelName(m))
+            return m;
+    }
+    fatal("unknown config '%s' (try --list)", name.c_str());
+}
+
+void
+printHuman(const driver::Metrics &m)
+{
+    std::printf("== %s under %s ==\n", m.workload.c_str(),
+                m.config.c_str());
+    std::printf("  validated:        %s\n",
+                m.validated ? "yes" : "NO");
+    std::printf("  time:             %.3f us\n", m.timeNs / 1000.0);
+    std::printf("  energy:           %.3f uJ\n",
+                m.totalEnergyPj / 1e6);
+    std::printf("  instructions:     host %.0f, accel %.0f "
+                "(%.1f%% coverage)\n",
+                m.hostInsts, m.accelInsts, m.codeCoverage());
+    std::printf("  memory ops:       %.0f offloaded (%.2f%% dc), "
+                "%.0f host\n",
+                m.kernelMemOps, m.dataCoverage(), m.hostMemOps);
+    std::printf("  cache accesses:   %.0f\n", m.cacheAccesses);
+    std::printf("  data movement:    %.3f MB\n",
+                m.dataMovementBytes / 1e6);
+    std::printf("  NoC bytes:        ctrl %.0f, data %.0f, acc_ctrl "
+                "%.0f, acc_data %.0f\n",
+                m.nocCtrlBytes, m.nocDataBytes, m.nocAccCtrlBytes,
+                m.nocAccDataBytes);
+    std::printf("  accel traffic:    intra %.0f, D-A %.0f, A-A %.0f "
+                "bytes\n",
+                m.intraBytes, m.daBytes, m.aaBytes);
+    std::printf("  MMIO intrinsics:  %.0f (%.3f%% init overhead)\n",
+                m.mmioOps, m.initOverhead());
+    std::printf("  energy breakdown:");
+    for (const auto &[name, pj] : m.energyByComponent) {
+        if (pj > 0.0)
+            std::printf(" %s=%.1fuJ", name.c_str(), pj / 1e6);
+    }
+    std::printf("\n");
+}
+
+void
+printCsvHeader()
+{
+    std::printf("workload,config,validated,time_ns,energy_pj,"
+                "host_insts,accel_insts,mem_ops,cache_accesses,"
+                "data_movement_bytes,noc_ctrl,noc_data,noc_acc_ctrl,"
+                "noc_acc_data,intra,da,aa,mmio\n");
+}
+
+void
+printCsv(const driver::Metrics &m)
+{
+    std::printf("%s,%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,"
+                "%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+                m.workload.c_str(), m.config.c_str(), m.validated,
+                m.timeNs, m.totalEnergyPj, m.hostInsts, m.accelInsts,
+                m.kernelMemOps, m.cacheAccesses, m.dataMovementBytes,
+                m.nocCtrlBytes, m.nocDataBytes, m.nocAccCtrlBytes,
+                m.nocAccDataBytes, m.intraBytes, m.daBytes, m.aaBytes,
+                m.mmioOps);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "fdt";
+    std::string config = "Dist-DA-F";
+    driver::RunConfig cfg;
+    driver::RunOptions opts;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            std::printf("workloads:");
+            for (const auto &w : workloads::workloadNames())
+                std::printf(" %s", w.c_str());
+            std::printf(" spmv\nconfigs: OoO Mono-CA Mono-DA-IO "
+                        "Mono-DA-F Dist-DA-IO Dist-DA-F Dist-DA-IO+SW "
+                        "Dist-DA-F+A all\n");
+            return 0;
+        } else if (arg.rfind("--workload=", 0) == 0) {
+            workload = arg.substr(11);
+        } else if (arg.rfind("--config=", 0) == 0) {
+            config = arg.substr(9);
+        } else if (arg.rfind("--scale=", 0) == 0) {
+            opts.scale = std::atof(arg.c_str() + 8);
+        } else if (arg.rfind("--ghz=", 0) == 0) {
+            cfg.accelGHz = std::atof(arg.c_str() + 6);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--no-combining") {
+            cfg.disableCombining = true;
+        } else if (arg == "--no-retention") {
+            cfg.disableRetention = true;
+        } else if (arg.rfind("--buffer=", 0) == 0) {
+            cfg.bufferBytesOverride = static_cast<std::uint32_t>(
+                std::atoi(arg.c_str() + 9));
+        } else if (arg.rfind("--channel=", 0) == 0) {
+            cfg.channelCapacityOverride = std::atoi(arg.c_str() + 10);
+        } else {
+            fatal("unknown flag '%s'", arg.c_str());
+        }
+    }
+
+    setInformEnabled(false);
+    std::vector<driver::ArchModel> models;
+    if (config == "all")
+        models = driver::headlineModels();
+    else
+        models.push_back(parseModel(config));
+
+    if (csv)
+        printCsvHeader();
+    for (driver::ArchModel m : models) {
+        cfg.model = m;
+        const auto metrics = driver::runWorkload(workload, cfg, opts);
+        if (csv)
+            printCsv(metrics);
+        else
+            printHuman(metrics);
+    }
+    return 0;
+}
