@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_energy_efficiency.dir/fig07_energy_efficiency.cc.o"
+  "CMakeFiles/fig07_energy_efficiency.dir/fig07_energy_efficiency.cc.o.d"
+  "fig07_energy_efficiency"
+  "fig07_energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

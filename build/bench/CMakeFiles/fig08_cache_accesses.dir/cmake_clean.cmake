@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cache_accesses.dir/fig08_cache_accesses.cc.o"
+  "CMakeFiles/fig08_cache_accesses.dir/fig08_cache_accesses.cc.o.d"
+  "fig08_cache_accesses"
+  "fig08_cache_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cache_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_access_distribution.dir/fig09_access_distribution.cc.o"
+  "CMakeFiles/fig09_access_distribution.dir/fig09_access_distribution.cc.o.d"
+  "fig09_access_distribution"
+  "fig09_access_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_access_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_noc_traffic.dir/fig10_noc_traffic.cc.o"
+  "CMakeFiles/fig10_noc_traffic.dir/fig10_noc_traffic.cc.o.d"
+  "fig10_noc_traffic"
+  "fig10_noc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

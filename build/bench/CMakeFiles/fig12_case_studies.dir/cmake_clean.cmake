@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_case_studies.dir/fig12_case_studies.cc.o"
+  "CMakeFiles/fig12_case_studies.dir/fig12_case_studies.cc.o.d"
+  "fig12_case_studies"
+  "fig12_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

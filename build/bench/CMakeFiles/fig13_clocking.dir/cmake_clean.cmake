@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_clocking.dir/fig13_clocking.cc.o"
+  "CMakeFiles/fig13_clocking.dir/fig13_clocking.cc.o.d"
+  "fig13_clocking"
+  "fig13_clocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_clocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sw_optimizations.dir/fig14_sw_optimizations.cc.o"
+  "CMakeFiles/fig14_sw_optimizations.dir/fig14_sw_optimizations.cc.o.d"
+  "fig14_sw_optimizations"
+  "fig14_sw_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sw_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

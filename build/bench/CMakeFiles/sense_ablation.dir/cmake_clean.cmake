@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sense_ablation.dir/sense_ablation.cc.o"
+  "CMakeFiles/sense_ablation.dir/sense_ablation.cc.o.d"
+  "sense_ablation"
+  "sense_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sense_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sense_working_set.dir/sense_working_set.cc.o"
+  "CMakeFiles/sense_working_set.dir/sense_working_set.cc.o.d"
+  "sense_working_set"
+  "sense_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sense_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_interface_coverage.dir/table05_interface_coverage.cc.o"
+  "CMakeFiles/table05_interface_coverage.dir/table05_interface_coverage.cc.o.d"
+  "table05_interface_coverage"
+  "table05_interface_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_interface_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

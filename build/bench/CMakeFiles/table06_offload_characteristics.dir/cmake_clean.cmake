@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_offload_characteristics.dir/table06_offload_characteristics.cc.o"
+  "CMakeFiles/table06_offload_characteristics.dir/table06_offload_characteristics.cc.o.d"
+  "table06_offload_characteristics"
+  "table06_offload_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_offload_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_area.dir/table_area.cc.o"
+  "CMakeFiles/table_area.dir/table_area.cc.o.d"
+  "table_area"
+  "table_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_schedule.dir/custom_schedule.cpp.o"
+  "CMakeFiles/custom_schedule.dir/custom_schedule.cpp.o.d"
+  "custom_schedule"
+  "custom_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_services.dir/memory_services.cpp.o"
+  "CMakeFiles/memory_services.dir/memory_services.cpp.o.d"
+  "memory_services"
+  "memory_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

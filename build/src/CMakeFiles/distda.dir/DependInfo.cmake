@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/access_unit.cc" "src/CMakeFiles/distda.dir/accel/access_unit.cc.o" "gcc" "src/CMakeFiles/distda.dir/accel/access_unit.cc.o.d"
+  "/root/repo/src/casestudy/case_common.cc" "src/CMakeFiles/distda.dir/casestudy/case_common.cc.o" "gcc" "src/CMakeFiles/distda.dir/casestudy/case_common.cc.o.d"
+  "/root/repo/src/casestudy/case_nw.cc" "src/CMakeFiles/distda.dir/casestudy/case_nw.cc.o" "gcc" "src/CMakeFiles/distda.dir/casestudy/case_nw.cc.o.d"
+  "/root/repo/src/casestudy/case_spmv.cc" "src/CMakeFiles/distda.dir/casestudy/case_spmv.cc.o" "gcc" "src/CMakeFiles/distda.dir/casestudy/case_spmv.cc.o.d"
+  "/root/repo/src/casestudy/multithread.cc" "src/CMakeFiles/distda.dir/casestudy/multithread.cc.o" "gcc" "src/CMakeFiles/distda.dir/casestudy/multithread.cc.o.d"
+  "/root/repo/src/cgra/cgra.cc" "src/CMakeFiles/distda.dir/cgra/cgra.cc.o" "gcc" "src/CMakeFiles/distda.dir/cgra/cgra.cc.o.d"
+  "/root/repo/src/compiler/classify.cc" "src/CMakeFiles/distda.dir/compiler/classify.cc.o" "gcc" "src/CMakeFiles/distda.dir/compiler/classify.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/CMakeFiles/distda.dir/compiler/compile.cc.o" "gcc" "src/CMakeFiles/distda.dir/compiler/compile.cc.o.d"
+  "/root/repo/src/compiler/dfg.cc" "src/CMakeFiles/distda.dir/compiler/dfg.cc.o" "gcc" "src/CMakeFiles/distda.dir/compiler/dfg.cc.o.d"
+  "/root/repo/src/compiler/partitioner.cc" "src/CMakeFiles/distda.dir/compiler/partitioner.cc.o" "gcc" "src/CMakeFiles/distda.dir/compiler/partitioner.cc.o.d"
+  "/root/repo/src/driver/config.cc" "src/CMakeFiles/distda.dir/driver/config.cc.o" "gcc" "src/CMakeFiles/distda.dir/driver/config.cc.o.d"
+  "/root/repo/src/driver/context.cc" "src/CMakeFiles/distda.dir/driver/context.cc.o" "gcc" "src/CMakeFiles/distda.dir/driver/context.cc.o.d"
+  "/root/repo/src/driver/runner.cc" "src/CMakeFiles/distda.dir/driver/runner.cc.o" "gcc" "src/CMakeFiles/distda.dir/driver/runner.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/distda.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/distda.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/engine/actor.cc" "src/CMakeFiles/distda.dir/engine/actor.cc.o" "gcc" "src/CMakeFiles/distda.dir/engine/actor.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/distda.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/distda.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/host_exec.cc" "src/CMakeFiles/distda.dir/engine/host_exec.cc.o" "gcc" "src/CMakeFiles/distda.dir/engine/host_exec.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/distda.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/distda.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/distda.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/distda.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/distda.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/distda.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/nuca_l3.cc" "src/CMakeFiles/distda.dir/mem/nuca_l3.cc.o" "gcc" "src/CMakeFiles/distda.dir/mem/nuca_l3.cc.o.d"
+  "/root/repo/src/mem/slab_allocator.cc" "src/CMakeFiles/distda.dir/mem/slab_allocator.cc.o" "gcc" "src/CMakeFiles/distda.dir/mem/slab_allocator.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/distda.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/distda.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/offload/interface.cc" "src/CMakeFiles/distda.dir/offload/interface.cc.o" "gcc" "src/CMakeFiles/distda.dir/offload/interface.cc.o.d"
+  "/root/repo/src/offload/migration.cc" "src/CMakeFiles/distda.dir/offload/migration.cc.o" "gcc" "src/CMakeFiles/distda.dir/offload/migration.cc.o.d"
+  "/root/repo/src/offload/runtime.cc" "src/CMakeFiles/distda.dir/offload/runtime.cc.o" "gcc" "src/CMakeFiles/distda.dir/offload/runtime.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/distda.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/distda.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/distda.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/distda.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/distda.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/distda.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/distda.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/distda.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/distda.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/distda.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/polybench.cc" "src/CMakeFiles/distda.dir/workloads/polybench.cc.o" "gcc" "src/CMakeFiles/distda.dir/workloads/polybench.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/distda.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/distda.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "src/CMakeFiles/distda.dir/workloads/rodinia.cc.o" "gcc" "src/CMakeFiles/distda.dir/workloads/rodinia.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/CMakeFiles/distda.dir/workloads/spmv.cc.o" "gcc" "src/CMakeFiles/distda.dir/workloads/spmv.cc.o.d"
+  "/root/repo/src/workloads/vision.cc" "src/CMakeFiles/distda.dir/workloads/vision.cc.o" "gcc" "src/CMakeFiles/distda.dir/workloads/vision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_casestudy.dir/test_casestudy.cc.o"
+  "CMakeFiles/test_casestudy.dir/test_casestudy.cc.o.d"
+  "test_casestudy"
+  "test_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgra.dir/test_cgra.cc.o"
+  "CMakeFiles/test_cgra.dir/test_cgra.cc.o.d"
+  "test_cgra"
+  "test_cgra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

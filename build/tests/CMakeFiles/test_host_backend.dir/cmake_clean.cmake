@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_backend.dir/test_host_backend.cc.o"
+  "CMakeFiles/test_host_backend.dir/test_host_backend.cc.o.d"
+  "test_host_backend"
+  "test_host_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

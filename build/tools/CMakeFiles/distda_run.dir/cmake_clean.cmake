@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distda_run.dir/distda_run.cc.o"
+  "CMakeFiles/distda_run.dir/distda_run.cc.o.d"
+  "distda_run"
+  "distda_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distda_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
