@@ -1,11 +1,52 @@
 #!/usr/bin/env sh
-# Full verification: configure, build, test, and regenerate every
-# table/figure of the paper. Mirrors what CI would run.
+# Full verification, mirroring what CI would run:
+#   1. configure + build into a throwaway build dir
+#   2. fast static-verification smoke pass over every workload
+#   3. full test suite
+#   4. ASan+UBSan and TSan test-suite runs
+#   5. clang-tidy (when available)
+#   6. optionally ($RUN_BENCH=1) regenerate every table/figure
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/*; do
-    [ -f "$b" ] && [ -x "$b" ] && echo "===== $b" && "$b" "$@"
+
+BUILD="${BUILD_DIR:-build-check}"
+GEN=""
+command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
+
+echo "===== configure + build ($BUILD)"
+# shellcheck disable=SC2086
+cmake -B "$BUILD" $GEN >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+
+echo "===== static verification smoke (all workloads, Dist-DA-F)"
+for w in dis tra fdt cho adi sei pf nw bfs pr pch pca spmv; do
+    "$BUILD"/tools/distda_run --workload="$w" --config=Dist-DA-F \
+        --verify-only
 done
+
+echo "===== tests"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+for SAN in address thread; do
+    echo "===== tests under $SAN sanitizer"
+    # shellcheck disable=SC2086
+    cmake -B "$BUILD-$SAN" $GEN -DDISTDA_SANITIZE="$SAN" >/dev/null
+    cmake --build "$BUILD-$SAN" -j "$(nproc)"
+    ctest --test-dir "$BUILD-$SAN" --output-on-failure -j "$(nproc)"
+done
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "===== clang-tidy"
+    cmake -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    git ls-files 'src/*.cc' 'tools/*.cc' |
+        xargs clang-tidy -p "$BUILD" --quiet
+else
+    echo "===== clang-tidy not installed; skipping lint"
+fi
+
+if [ "${RUN_BENCH:-0}" = "1" ]; then
+    for b in "$BUILD"/bench/*; do
+        [ -f "$b" ] && [ -x "$b" ] && echo "===== $b" && "$b"
+    done
+fi
+echo "===== all checks passed"

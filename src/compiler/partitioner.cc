@@ -1,6 +1,7 @@
 #include "src/compiler/partitioner.hh"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 
 #include "src/sim/logging.hh"
@@ -285,7 +286,9 @@ partitionGraph(const PartitionGraph &graph, int k)
 
     // Multilevel: coarsen while the graph is large, partition the
     // coarsest level, then project back and refine at each level.
-    std::vector<CoarseLevel> levels;
+    // A deque keeps element references stable while we grow it: `cur`
+    // points at the previous level's graph across push_back calls.
+    std::deque<CoarseLevel> levels;
     const PartitionGraph *cur = &graph;
     const std::size_t coarse_target =
         std::max<std::size_t>(static_cast<std::size_t>(4 * k), 32);

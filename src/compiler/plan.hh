@@ -146,6 +146,16 @@ struct OffloadPlan
     int partitionIndexOf(int node) const;
 };
 
+/** What to do with static-verification findings after codegen. */
+enum class VerifyMode : std::uint8_t
+{
+    Off,   ///< skip verification entirely
+    Warn,  ///< report all findings via warn(), never stop
+    Error, ///< report findings; panic when any error is found
+};
+
+const char *verifyModeName(VerifyMode m);
+
 /** Options steering compilation. */
 struct CompileOptions
 {
@@ -154,6 +164,8 @@ struct CompileOptions
     bool enableCombining = true;  ///< Fig 2d multi-access combining
     std::uint32_t bufferBytes = 4096; ///< access-unit buffer capacity
     int channelCapacity = 64;     ///< decoupling depth in elements
+    /** Post-codegen static verification (src/verify) disposition. */
+    VerifyMode verifyPlans = VerifyMode::Error;
 };
 
 /** Full pipeline: classify, partition, place, specialize, codegen. */

@@ -40,6 +40,7 @@ RunConfig::compileOptions() const
         opts.bufferBytes = bufferBytesOverride;
     if (channelCapacityOverride)
         opts.channelCapacity = channelCapacityOverride;
+    opts.verifyPlans = verifyPlans;
     return opts;
 }
 

@@ -55,6 +55,9 @@ struct RunConfig
     std::uint32_t bufferBytesOverride = 0; ///< per-cluster SRAM (0=4KB)
     int channelCapacityOverride = 0;       ///< decoupling depth (0=64)
 
+    /** Static verification of compiled plans (src/verify). */
+    compiler::VerifyMode verifyPlans = compiler::VerifyMode::Error;
+
     bool usesAccelerator() const { return model != ArchModel::OoO; }
     bool distributed() const
     {

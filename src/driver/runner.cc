@@ -1,8 +1,10 @@
 #include "src/driver/runner.hh"
 
 #include <cmath>
+#include <cstdio>
 
 #include "src/sim/logging.hh"
+#include "src/verify/verify.hh"
 #include "src/workloads/workload.hh"
 
 namespace distda::driver
@@ -31,6 +33,46 @@ runWorkload(const std::string &workload, const RunConfig &config,
              workload.c_str(), archModelName(config.model));
     }
     return m;
+}
+
+int
+verifyWorkload(const std::string &workload, const RunConfig &config,
+               const RunOptions &opts)
+{
+    auto wl = workloads::makeWorkload(workload, opts.scale);
+
+    SystemParams sp;
+    sp.arenaBytes = wl->arenaBytes();
+    sp.allocAffinity = config.allocAffinity();
+    System sys(sp);
+    wl->setup(sys);
+
+    int errors = 0;
+    for (const compiler::Kernel *kernel : wl->kernels()) {
+        // Compile with in-pipeline enforcement off: the point here is
+        // to surface every diagnostic, not to die on the first one.
+        compiler::CompileOptions co = config.compileOptions();
+        co.verifyPlans = compiler::VerifyMode::Off;
+        const compiler::OffloadPlan plan =
+            compiler::compileKernel(*kernel, co);
+
+        verify::Options vo = verify::optionsFor(co);
+        if (config.cgra()) {
+            vo.checkCgra = true;
+            vo.fabric = config.engineConfig().fabric;
+        }
+        const verify::Report report = verify::verifyPlan(plan, vo);
+        std::printf("%s/%s under %s: %zu partitions, %zu channels: "
+                    "%d error(s), %d warning(s)\n",
+                    workload.c_str(), kernel->name.c_str(),
+                    archModelName(config.model), plan.partitions.size(),
+                    plan.channels.size(), report.errorCount(),
+                    report.warningCount());
+        if (!report.empty())
+            std::printf("%s", report.str().c_str());
+        errors += report.errorCount();
+    }
+    return errors;
 }
 
 double

@@ -26,6 +26,14 @@ struct RunOptions
 Metrics runWorkload(const std::string &workload, const RunConfig &config,
                     const RunOptions &opts = RunOptions{});
 
+/**
+ * Compile every kernel of @p workload under @p config and statically
+ * verify the resulting plans without executing anything. Prints each
+ * diagnostic to stdout and returns the total error count (0 = clean).
+ */
+int verifyWorkload(const std::string &workload, const RunConfig &config,
+                   const RunOptions &opts = RunOptions{});
+
 /** Geometric mean helper for the summary rows. */
 double geomean(const std::vector<double> &values);
 

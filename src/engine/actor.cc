@@ -30,6 +30,48 @@ PartitionActor::PartitionActor(
     _regs.assign(static_cast<std::size_t>(std::max(prog.numRegs, 1)),
                  Word{});
 
+    // Reject corrupted microcode up front: execInst() and the preload
+    // loops below index registers, accessors, channels and carry slots
+    // without bounds checks, so a bad program must never start.
+    auto check_reg = [&](std::uint16_t reg, const char *what) {
+        DISTDA_ASSERT(reg == compiler::noReg || reg < _regs.size(),
+                      "partition %d: %s register r%u out of range "
+                      "(numRegs %d)",
+                      _config.part->id, what, reg, prog.numRegs);
+    };
+    for (const auto &[param_idx, reg] : prog.paramRegs)
+        check_reg(reg, "param");
+    for (const auto &c : prog.constRegs)
+        check_reg(c.reg, "const");
+    for (const auto &c : prog.carries)
+        check_reg(c.reg, "carry");
+    check_reg(prog.ivReg, "induction");
+    for (std::size_t pc = 0; pc < prog.insts.size(); ++pc) {
+        const MicroInst &inst = prog.insts[pc];
+        check_reg(inst.dst, "dst");
+        check_reg(inst.a, "src");
+        check_reg(inst.b, "src");
+        check_reg(inst.c, "src");
+        std::size_t limit = 0;
+        switch (inst.kind) {
+          case MicroKind::LoadStream:
+          case MicroKind::StoreStream:
+          case MicroKind::LoadIdx:
+          case MicroKind::StoreIdx:
+            limit = _accessors.size();
+            break;
+          case MicroKind::Consume: limit = _ins.size(); break;
+          case MicroKind::Produce: limit = _outs.size(); break;
+          case MicroKind::CarryWrite: limit = prog.carries.size(); break;
+          default: continue;
+        }
+        DISTDA_ASSERT(inst.slot >= 0 &&
+                          static_cast<std::size_t>(inst.slot) < limit,
+                      "partition %d inst %zu: slot %d out of range "
+                      "(limit %zu)",
+                      _config.part->id, pc, inst.slot, limit);
+    }
+
     for (const auto &[param_idx, reg] : prog.paramRegs) {
         DISTDA_ASSERT(param_idx >= 0 &&
                           param_idx <

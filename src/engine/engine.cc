@@ -23,6 +23,7 @@ DataflowEngine::DataflowEngine(const OffloadPlan &plan,
       _acct(acct)
 {
     if (config.kind == ActorKind::Cgra) {
+        _mappings.reserve(plan.partitions.size());
         for (const Partition &part : plan.partitions)
             _mappings.push_back(
                 cgra::mapProgram(part.program, config.fabric));
@@ -65,6 +66,24 @@ DataflowEngine::configWordsPerInvoke() const
         words += static_cast<int>(part.program.paramRegs.size());
     }
     return words;
+}
+
+std::vector<DataflowEngine::ChannelEdge>
+DataflowEngine::channelTopology() const
+{
+    std::vector<ChannelEdge> edges;
+    edges.reserve(_plan.channels.size());
+    for (const compiler::ChannelDef &cd : _plan.channels) {
+        ChannelEdge e;
+        e.id = cd.id;
+        e.srcPartition = cd.srcPartition;
+        e.dstPartition = cd.dstPartition;
+        e.elemBytes = cd.bits / 8;
+        e.control = cd.control;
+        e.capacity = _config.channelCapacity;
+        edges.push_back(e);
+    }
+    return edges;
 }
 
 namespace
@@ -196,6 +215,7 @@ DataflowEngine::invoke(const std::vector<ArrayRef> &bindings,
 
     // --- Channels. ---
     std::vector<std::unique_ptr<Channel>> channels;
+    channels.reserve(_plan.channels.size());
     for (const compiler::ChannelDef &cd : _plan.channels) {
         const int src =
             part_cluster[static_cast<std::size_t>(cd.srcPartition)];
@@ -302,8 +322,10 @@ DataflowEngine::invoke(const std::vector<ArrayRef> &bindings,
             compute_cluster, port_at(compute_cluster), &_stats, cycle);
 
         std::vector<Channel *> ins, outs;
+        ins.reserve(part.inChannels.size());
         for (int ch : part.inChannels)
             ins.push_back(channels[static_cast<std::size_t>(ch)].get());
+        outs.reserve(part.outChannels.size());
         for (int ch : part.outChannels)
             outs.push_back(channels[static_cast<std::size_t>(ch)].get());
 

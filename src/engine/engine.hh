@@ -98,6 +98,24 @@ class DataflowEngine
     /** Total MMIO-visible configuration words per invocation. */
     int configWordsPerInvoke() const;
 
+    /** One channel edge as the engine instantiates it. */
+    struct ChannelEdge
+    {
+        int id = -1;
+        int srcPartition = -1;
+        int dstPartition = -1; ///< -1: host-consumed
+        int elemBytes = 0;
+        bool control = false;
+        int capacity = 0; ///< decoupling depth in elements
+    };
+
+    /**
+     * The actor/channel graph this engine executes, for external
+     * inspection (verification tooling, tests). Mirrors the plan's
+     * channel table with the engine's configured FIFO capacity.
+     */
+    std::vector<ChannelEdge> channelTopology() const;
+
   private:
     /**
      * Buffer retention across invocations (§V-B: resources are not

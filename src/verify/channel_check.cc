@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Channel-graph liveness: checks the SSIV-B decoupling contract on the
+ * actor/channel graph implied by the partition plan. Per channel, the
+ * producer and consumer must agree on the per-iteration token count
+ * (otherwise occupancy drifts until the FIFO wedges or starves); no
+ * channel may have zero capacity; and the per-iteration channel-op
+ * dependence graph (program order within each partition, plus
+ * produce -> consume across each channel) must be acyclic — a cycle
+ * means every involved actor waits on another before it would ever
+ * produce, a first-iteration deadlock no FIFO depth can fix.
+ */
+
+#include <map>
+#include <vector>
+
+#include "src/verify/checks.hh"
+
+namespace distda::verify
+{
+
+using compiler::ChannelDef;
+using compiler::MicroInst;
+using compiler::MicroKind;
+using compiler::OffloadPlan;
+using compiler::Partition;
+
+namespace
+{
+
+constexpr const char *passName = "channels";
+
+/** One channel endpoint operation in some partition's program. */
+struct ChanOp
+{
+    int partition = -1;
+    std::size_t pc = 0;
+    int channel = -1;
+    bool isProduce = false;
+};
+
+/** Channel-op list per partition, in program order. */
+std::vector<std::vector<ChanOp>>
+collectOps(const OffloadPlan &plan)
+{
+    std::vector<std::vector<ChanOp>> ops(plan.partitions.size());
+    for (const Partition &part : plan.partitions) {
+        for (std::size_t pc = 0; pc < part.program.insts.size(); ++pc) {
+            const MicroInst &inst = part.program.insts[pc];
+            if (inst.kind != MicroKind::Consume &&
+                inst.kind != MicroKind::Produce)
+                continue;
+            ChanOp op;
+            op.partition = part.id;
+            op.pc = pc;
+            op.isProduce = inst.kind == MicroKind::Produce;
+            const auto &table =
+                op.isProduce ? part.outChannels : part.inChannels;
+            if (inst.slot >= 0 &&
+                inst.slot < static_cast<int>(table.size()))
+                op.channel = table[static_cast<std::size_t>(inst.slot)];
+            if (op.channel >= 0 &&
+                op.channel >= static_cast<int>(plan.channels.size()))
+                op.channel = -1; // bad slot: microcode pass reports it
+            if (part.id >= 0 &&
+                part.id < static_cast<int>(ops.size()))
+                ops[static_cast<std::size_t>(part.id)].push_back(op);
+        }
+    }
+    return ops;
+}
+
+void
+checkTokenBalance(const OffloadPlan &plan,
+                  const std::vector<std::vector<ChanOp>> &ops,
+                  Report &report)
+{
+    std::vector<int> produced(plan.channels.size(), 0);
+    std::vector<int> consumed(plan.channels.size(), 0);
+    for (const auto &part_ops : ops) {
+        for (const ChanOp &op : part_ops) {
+            if (op.channel < 0)
+                continue;
+            auto &count = op.isProduce ? produced : consumed;
+            ++count[static_cast<std::size_t>(op.channel)];
+        }
+    }
+    for (const ChannelDef &ch : plan.channels) {
+        if (ch.id < 0 || ch.id >= static_cast<int>(produced.size()))
+            continue;
+        const int p = produced[static_cast<std::size_t>(ch.id)];
+        const int c = consumed[static_cast<std::size_t>(ch.id)];
+        if (ch.dstPartition < 0) {
+            // Host-consumed channel: only the producer side is
+            // microcode; the host drains it via cp_consume.
+            continue;
+        }
+        if (p == 0 && c == 0) {
+            report.add(Severity::Warning, passName, kernelLoc(plan),
+                       "channel %d (partition %d -> %d) is never "
+                       "produced or consumed",
+                       ch.id, ch.srcPartition, ch.dstPartition);
+        } else if (p != c) {
+            report.add(Severity::Error, passName, kernelLoc(plan),
+                       "channel %d (partition %d -> %d) produce/consume "
+                       "count mismatch: %d produced vs %d consumed per "
+                       "iteration",
+                       ch.id, ch.srcPartition, ch.dstPartition, p, c);
+        }
+    }
+}
+
+void
+checkDependenceCycles(const OffloadPlan &plan,
+                      const std::vector<std::vector<ChanOp>> &ops,
+                      Report &report)
+{
+    // Node ids: flatten the per-partition op lists.
+    std::vector<const ChanOp *> nodes;
+    std::vector<std::vector<int>> succ;
+    std::map<std::pair<int, std::size_t>, int> id_of;
+    for (const auto &part_ops : ops) {
+        for (const ChanOp &op : part_ops) {
+            id_of[{op.partition, op.pc}] =
+                static_cast<int>(nodes.size());
+            nodes.push_back(&op);
+        }
+    }
+    succ.resize(nodes.size());
+
+    // Program order: an op depends on its predecessor completing.
+    for (const auto &part_ops : ops) {
+        for (std::size_t i = 1; i < part_ops.size(); ++i) {
+            succ[static_cast<std::size_t>(id_of[{part_ops[i - 1].partition,
+                                                 part_ops[i - 1].pc}])]
+                .push_back(id_of[{part_ops[i].partition,
+                                  part_ops[i].pc}]);
+        }
+    }
+    // Data: the first consume of a channel waits on its first produce.
+    std::map<int, int> first_produce, first_consume;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const ChanOp &op = *nodes[i];
+        if (op.channel < 0)
+            continue;
+        auto &table = op.isProduce ? first_produce : first_consume;
+        if (!table.count(op.channel))
+            table[op.channel] = static_cast<int>(i);
+    }
+    for (const auto &[ch, prod] : first_produce) {
+        auto it = first_consume.find(ch);
+        if (it != first_consume.end())
+            succ[static_cast<std::size_t>(prod)].push_back(it->second);
+    }
+
+    // Iterative DFS cycle detection (colors: 0 white, 1 grey, 2 black).
+    std::vector<int> color(nodes.size(), 0);
+    std::vector<int> stack;
+    for (std::size_t root = 0; root < nodes.size(); ++root) {
+        if (color[root] != 0)
+            continue;
+        stack.push_back(static_cast<int>(root));
+        while (!stack.empty()) {
+            const int v = stack.back();
+            if (color[static_cast<std::size_t>(v)] == 0) {
+                color[static_cast<std::size_t>(v)] = 1;
+                for (int w : succ[static_cast<std::size_t>(v)]) {
+                    if (color[static_cast<std::size_t>(w)] == 1) {
+                        report.add(
+                            Severity::Error, passName,
+                            partLoc(plan, nodes[static_cast<std::size_t>(
+                                                    w)]
+                                              ->partition),
+                            "channel-dependence cycle: partitions wait "
+                            "on each other before any token is "
+                            "produced (first-iteration deadlock)");
+                        return;
+                    }
+                    if (color[static_cast<std::size_t>(w)] == 0)
+                        stack.push_back(w);
+                }
+            } else {
+                color[static_cast<std::size_t>(v)] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+checkChannels(const OffloadPlan &plan, const Options &opts,
+              Report &report)
+{
+    if (!plan.channels.empty() && opts.channelCapacity <= 0) {
+        report.add(Severity::Error, passName, kernelLoc(plan),
+                   "%zu channels with zero decoupling capacity: every "
+                   "produce blocks forever",
+                   plan.channels.size());
+    }
+    const auto ops = collectOps(plan);
+    checkTokenBalance(plan, ops, report);
+    checkDependenceCycles(plan, ops, report);
+}
+
+} // namespace distda::verify

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Internal declarations shared by the verification passes. Not part of
+ * the public verify interface.
+ */
+
+#ifndef DISTDA_VERIFY_CHECKS_HH
+#define DISTDA_VERIFY_CHECKS_HH
+
+#include <string>
+
+#include "src/verify/verify.hh"
+
+namespace distda::verify
+{
+
+// The registered passes (definitions live in one file per pass).
+void checkPlan(const compiler::OffloadPlan &plan, const Options &opts,
+               Report &report);
+void checkMicrocode(const compiler::OffloadPlan &plan, const Options &opts,
+                    Report &report);
+void checkChannels(const compiler::OffloadPlan &plan, const Options &opts,
+                   Report &report);
+void checkCgra(const compiler::OffloadPlan &plan, const Options &opts,
+               Report &report);
+void checkSmells(const compiler::OffloadPlan &plan, const Options &opts,
+                 Report &report);
+
+/** Three-valued type lattice for int/float propagation. */
+enum class VType : std::uint8_t { Unknown, Int, Float };
+
+/** True when @p a and @p b are both known and disagree. */
+inline bool
+typeClash(VType a, VType b)
+{
+    return a != VType::Unknown && b != VType::Unknown && a != b;
+}
+
+/** Static value type of DFG node @p id (Unknown when indeterminable). */
+VType nodeValueType(const compiler::Kernel &kernel, int id);
+
+/** "kernel 'x'" */
+std::string kernelLoc(const compiler::OffloadPlan &plan);
+/** "kernel 'x' partition N" */
+std::string partLoc(const compiler::OffloadPlan &plan, int part);
+/** "kernel 'x' partition N inst I" */
+std::string instLoc(const compiler::OffloadPlan &plan, int part,
+                    std::size_t inst);
+
+} // namespace distda::verify
+
+#endif // DISTDA_VERIFY_CHECKS_HH

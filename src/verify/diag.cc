@@ -1,0 +1,91 @@
+#include "src/verify/diag.hh"
+
+#include <cstdarg>
+
+#include "src/sim/logging.hh"
+
+namespace distda::verify
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+      default: return "?";
+    }
+}
+
+std::string
+Diag::str() const
+{
+    return strfmt("%s [%s] %s: %s", severityName(severity), pass.c_str(),
+                  location.c_str(), message.c_str());
+}
+
+void
+Report::add(Severity severity, const std::string &pass,
+            const std::string &location, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    Diag d;
+    d.severity = severity;
+    d.pass = pass;
+    d.location = location;
+    d.message = vstrfmt(fmt, ap);
+    va_end(ap);
+    _diags.push_back(std::move(d));
+}
+
+int
+Report::errorCount() const
+{
+    int n = 0;
+    for (const Diag &d : _diags)
+        n += d.severity == Severity::Error;
+    return n;
+}
+
+int
+Report::warningCount() const
+{
+    int n = 0;
+    for (const Diag &d : _diags)
+        n += d.severity == Severity::Warning;
+    return n;
+}
+
+bool
+Report::mentions(const std::string &needle) const
+{
+    for (const Diag &d : _diags) {
+        if (d.message.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+bool
+Report::hasErrorFrom(const std::string &pass) const
+{
+    for (const Diag &d : _diags) {
+        if (d.severity == Severity::Error && d.pass == pass)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Report::str() const
+{
+    std::string out;
+    for (const Diag &d : _diags) {
+        out += d.str();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace distda::verify

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Structured diagnostics for the static verification layer: every
+ * finding carries the pass that produced it, a severity, a location
+ * string (kernel/partition/instruction) and a human-readable message,
+ * so callers can both pretty-print reports and assert on individual
+ * findings in tests.
+ */
+
+#ifndef DISTDA_VERIFY_DIAG_HH
+#define DISTDA_VERIFY_DIAG_HH
+
+#include <string>
+#include <vector>
+
+namespace distda::verify
+{
+
+/** How bad one finding is. */
+enum class Severity : std::uint8_t
+{
+    Warning, ///< smell: plan runs, but something looks wasteful/dead
+    Error,   ///< invariant violation: running this plan is unsafe
+};
+
+const char *severityName(Severity s);
+
+/** One finding of one verification pass. */
+struct Diag
+{
+    Severity severity = Severity::Error;
+    std::string pass;     ///< producing pass, e.g. "microcode"
+    std::string location; ///< e.g. "kernel 'fdt' partition 2 inst 5"
+    std::string message;
+
+    /** "error [microcode] kernel 'x' partition 2 inst 5: ..." */
+    std::string str() const;
+};
+
+/** The collected findings of one verification run. */
+class Report
+{
+  public:
+    /** Append a finding (printf-formatted message). */
+    void add(Severity severity, const std::string &pass,
+             const std::string &location, const char *fmt, ...)
+        __attribute__((format(printf, 5, 6)));
+
+    const std::vector<Diag> &diags() const { return _diags; }
+    bool empty() const { return _diags.empty(); }
+
+    int errorCount() const;
+    int warningCount() const;
+    bool ok() const { return errorCount() == 0; }
+
+    /** True when some diagnostic's message contains @p needle. */
+    bool mentions(const std::string &needle) const;
+    /** True when pass @p pass produced at least one error. */
+    bool hasErrorFrom(const std::string &pass) const;
+
+    /** All findings, one per line. */
+    std::string str() const;
+
+  private:
+    std::vector<Diag> _diags;
+};
+
+} // namespace distda::verify
+
+#endif // DISTDA_VERIFY_DIAG_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Death-test helper: assert that a statement trips DISTDA_ASSERT /
+ * panic() (which abort) with a message matching @p regex. Use this
+ * instead of raw EXPECT_DEATH so rejected-input tests degrade to an
+ * explicit skip (rather than silently passing) on platforms where
+ * googletest cannot run death tests.
+ */
+
+#ifndef DISTDA_TESTS_DEATH_HELPERS_HH
+#define DISTDA_TESTS_DEATH_HELPERS_HH
+
+#include <gtest/gtest.h>
+
+#if GTEST_HAS_DEATH_TEST
+#define EXPECT_PANIC(stmt, regex) EXPECT_DEATH(stmt, regex)
+#else
+#define EXPECT_PANIC(stmt, regex)                                         \
+    GTEST_SKIP() << "death tests unavailable on this platform"
+#endif
+
+#endif // DISTDA_TESTS_DEATH_HELPERS_HH

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "death_helpers.hh"
 #include "src/compiler/classify.hh"
 #include "src/compiler/partitioner.hh"
 #include "src/compiler/plan.hh"
@@ -82,7 +83,7 @@ TEST(Builder, VerifyCatchesMissingLoop)
     KernelBuilder kb("bad");
     const int a = kb.object("A", 16, 8, true);
     kb.store(a, kb.affine(0, 1), kb.constFloat(0.0));
-    EXPECT_DEATH((void)kb.build(), "extent");
+    EXPECT_PANIC((void)kb.build(), "extent");
 }
 
 TEST(Builder, VerifyCatchesUnsetCarry)
@@ -92,7 +93,7 @@ TEST(Builder, VerifyCatchesUnsetCarry)
     kb.loopStatic(4);
     auto c = kb.carry(Word{0}, false);
     kb.store(a, kb.affine(0, 1), c);
-    EXPECT_DEATH((void)kb.build(), "never updated");
+    EXPECT_PANIC((void)kb.build(), "never updated");
 }
 
 TEST(Builder, TopoOrderRespectsDependencies)

@@ -8,10 +8,17 @@
  *              [--scale=<f>] [--ghz=<f>] [--csv]
  *              [--no-combining] [--no-retention]
  *              [--buffer=<bytes>] [--channel=<elems>]
+ *              [--verify[=warn|error|off]] [--verify-only]
+ *
+ * --verify sets how statically-detected plan bugs are treated during
+ * compilation (default: error). --verify-only compiles every kernel,
+ * prints all verifier diagnostics and exits without simulating;
+ * the exit status is nonzero iff any error-severity finding exists.
  *
  * Examples:
  *   distda_run --workload=fdt --config=Dist-DA-F
  *   distda_run --workload=bfs --config=all --csv
+ *   distda_run --workload=cho --config=Dist-DA-F --verify-only
  */
 
 #include <cstdio>
@@ -41,6 +48,21 @@ parseModel(const std::string &name)
             return m;
     }
     fatal("unknown config '%s' (try --list)", name.c_str());
+}
+
+compiler::VerifyMode
+parseVerifyMode(const std::string &name)
+{
+    const compiler::VerifyMode all[] = {
+        compiler::VerifyMode::Off,
+        compiler::VerifyMode::Warn,
+        compiler::VerifyMode::Error,
+    };
+    for (compiler::VerifyMode m : all) {
+        if (name == compiler::verifyModeName(m))
+            return m;
+    }
+    fatal("unknown verify mode '%s' (off|warn|error)", name.c_str());
 }
 
 void
@@ -111,6 +133,7 @@ main(int argc, char **argv)
     driver::RunConfig cfg;
     driver::RunOptions opts;
     bool csv = false;
+    bool verify_only = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -141,6 +164,12 @@ main(int argc, char **argv)
                 std::atoi(arg.c_str() + 9));
         } else if (arg.rfind("--channel=", 0) == 0) {
             cfg.channelCapacityOverride = std::atoi(arg.c_str() + 10);
+        } else if (arg == "--verify") {
+            cfg.verifyPlans = compiler::VerifyMode::Error;
+        } else if (arg.rfind("--verify=", 0) == 0) {
+            cfg.verifyPlans = parseVerifyMode(arg.substr(9));
+        } else if (arg == "--verify-only") {
+            verify_only = true;
         } else {
             fatal("unknown flag '%s'", arg.c_str());
         }
@@ -152,6 +181,15 @@ main(int argc, char **argv)
         models = driver::headlineModels();
     else
         models.push_back(parseModel(config));
+
+    if (verify_only) {
+        int errors = 0;
+        for (driver::ArchModel m : models) {
+            cfg.model = m;
+            errors += driver::verifyWorkload(workload, cfg, opts);
+        }
+        return errors ? 1 : 0;
+    }
 
     if (csv)
         printCsvHeader();
