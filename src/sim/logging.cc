@@ -1,5 +1,6 @@
 #include "src/sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <vector>
 
@@ -8,7 +9,9 @@ namespace distda
 
 namespace
 {
-bool informEnabled = true;
+// Toggled by drivers while worker threads may be mid-run, so atomic;
+// it only gates status output.
+std::atomic<bool> informEnabledFlag{true};
 } // namespace
 
 std::string
@@ -70,7 +73,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabledFlag.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -82,7 +85,13 @@ inform(const char *fmt, ...)
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabledFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+informEnabled()
+{
+    return informEnabledFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace distda

@@ -42,6 +42,9 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Enable/disable inform() output (quiet mode for benches). */
 void setInformEnabled(bool enabled);
 
+/** Current inform() gating state. */
+bool informEnabled();
+
 /**
  * Assert-like invariant check that survives NDEBUG builds.
  * Calls panic() with the condition text when cond is false.

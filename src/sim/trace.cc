@@ -1,10 +1,12 @@
 #include "src/sim/trace.hh"
 
 #include <array>
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "src/sim/logging.hh"
 
@@ -14,8 +16,13 @@ namespace distda::trace
 namespace
 {
 
-std::array<bool, static_cast<std::size_t>(Flag::NumFlags)> flags{};
-bool envParsed = false;
+// Flags are read from every simulation thread (DPRINTF hot path) and
+// may be toggled while a parallel sweep is in flight, so each one is
+// an atomic; relaxed ordering suffices because a flag only gates
+// diagnostic output.
+std::array<std::atomic<bool>, static_cast<std::size_t>(Flag::NumFlags)>
+    flags{};
+std::once_flag envOnce;
 
 } // namespace
 
@@ -36,15 +43,16 @@ flagName(Flag f)
 void
 setEnabled(Flag f, bool enabled_flag)
 {
-    flags[static_cast<std::size_t>(f)] = enabled_flag;
+    flags[static_cast<std::size_t>(f)].store(enabled_flag,
+                                             std::memory_order_relaxed);
 }
 
 bool
 enabled(Flag f)
 {
-    if (!envParsed)
-        initFromEnvironment();
-    return flags[static_cast<std::size_t>(f)];
+    initFromEnvironment();
+    return flags[static_cast<std::size_t>(f)].load(
+        std::memory_order_relaxed);
 }
 
 void
@@ -60,7 +68,7 @@ enableFromList(const std::string &list)
         for (std::size_t i = 0;
              i < static_cast<std::size_t>(Flag::NumFlags); ++i) {
             if (name == flagName(static_cast<Flag>(i))) {
-                flags[i] = true;
+                flags[i].store(true, std::memory_order_relaxed);
                 found = true;
             }
         }
@@ -73,9 +81,10 @@ enableFromList(const std::string &list)
 void
 initFromEnvironment()
 {
-    envParsed = true;
-    if (const char *env = std::getenv("DISTDA_TRACE"))
-        enableFromList(env);
+    std::call_once(envOnce, [] {
+        if (const char *env = std::getenv("DISTDA_TRACE"))
+            enableFromList(env);
+    });
 }
 
 void

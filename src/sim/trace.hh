@@ -44,7 +44,10 @@ bool enabled(Flag f);
 /** Enable flags from a comma-separated list ("Stream,Actor"). */
 void enableFromList(const std::string &list);
 
-/** Parse DISTDA_TRACE from the environment (done lazily on first use). */
+/**
+ * Parse DISTDA_TRACE from the environment. Runs at most once per
+ * process (thread-safe; done lazily on first enabled() query).
+ */
 void initFromEnvironment();
 
 /** Emit one trace record (printf-style). */
