@@ -1,17 +1,22 @@
 /**
  * @file
- * Shared harness for the table/figure reproduction binaries: runs the
- * workload x configuration matrix once and exposes the metrics, plus
- * small table-printing helpers.
+ * Shared harness for the table/figure reproduction binaries: builds the
+ * workload x configuration matrix as a declarative job list, executes
+ * it on the driver's parallel sweep engine and exposes the metrics,
+ * plus small table-printing helpers.
  *
  * Flags understood by every bench binary:
  *   --scale=<f>  problem-size multiplier (default 1.0)
  *   --paper      paper-scale inputs (scale 2.0; slower)
  *   --quick      tiny inputs for smoke runs (scale 0.25)
+ *   --jobs=<n>   concurrent simulations (default DISTDA_JOBS or
+ *                hardware_concurrency)
  */
 
 #ifndef DISTDA_BENCH_BENCH_COMMON_HH
 #define DISTDA_BENCH_BENCH_COMMON_HH
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -19,25 +24,37 @@
 #include <string>
 #include <vector>
 
-#include "src/driver/runner.hh"
+#include "src/driver/sweep.hh"
 #include "src/sim/logging.hh"
 #include "src/workloads/workload.hh"
 
 namespace distda::bench
 {
 
+/** Per-binary options: run shape plus sweep-executor knobs. */
+struct Options
+{
+    driver::RunOptions run;
+    driver::SweepOptions sweep;
+};
+
 /** Parse the common CLI flags. */
-inline driver::RunOptions
+inline Options
 parseOptions(int argc, char **argv)
 {
-    driver::RunOptions opts;
+    Options opts;
+    // Progress/ETA on stderr when someone is watching; never when
+    // redirected, so captured output stays clean.
+    opts.sweep.progress = ::isatty(2) != 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
-            opts.scale = std::atof(argv[i] + 8);
+            opts.run.scale = std::atof(argv[i] + 8);
         else if (std::strcmp(argv[i], "--paper") == 0)
-            opts.scale = 2.0;
+            opts.run.scale = 2.0;
         else if (std::strcmp(argv[i], "--quick") == 0)
-            opts.scale = 0.25;
+            opts.run.scale = 0.25;
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            opts.sweep.jobs = std::atoi(argv[i] + 7);
     }
     return opts;
 }
@@ -47,16 +64,25 @@ class Sweep
 {
   public:
     Sweep(const std::vector<driver::ArchModel> &models,
-          const driver::RunOptions &opts)
+          const Options &opts)
         : _models(models)
     {
         setInformEnabled(false);
+        std::vector<driver::SweepJob> jobs;
         for (const std::string &w : workloads::workloadNames()) {
             for (driver::ArchModel m : models) {
-                driver::RunConfig cfg;
-                cfg.model = m;
-                _metrics[{w, m}] = driver::runWorkload(w, cfg, opts);
+                driver::SweepJob job;
+                job.workload = w;
+                job.config.model = m;
+                job.options = opts.run;
+                jobs.push_back(job);
             }
+        }
+        const auto results = driver::runSweep(jobs, opts.sweep);
+        driver::dieOnFailures(results);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            _metrics[{jobs[i].workload, jobs[i].config.model}] =
+                results[i].metrics;
         }
     }
 

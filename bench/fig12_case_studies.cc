@@ -11,6 +11,7 @@
 #include "bench/bench_common.hh"
 #include "src/casestudy/case_spmv.hh"
 #include "src/casestudy/multithread.hh"
+#include "src/driver/pool.hh"
 
 using namespace distda;
 
@@ -20,14 +21,33 @@ main(int argc, char **argv)
     const auto opts = bench::parseOptions(argc, argv);
     setInformEnabled(false);
 
+    // The three case-study units are independent simulations; run them
+    // concurrently on the driver's pool and print in fixed order.
+    std::vector<casestudy::CaseResult> spmv_results, nw_results;
+    std::vector<casestudy::MtResult> mt;
+    {
+        driver::ThreadPool pool(opts.sweep.jobs > 0
+                                    ? opts.sweep.jobs
+                                    : driver::defaultJobCount());
+        pool.submit([&] {
+            spmv_results = casestudy::runSpmvCaseStudy(opts.run.scale);
+        });
+        pool.submit([&] {
+            nw_results = casestudy::runNwCaseStudy(opts.run.scale);
+        });
+        pool.submit([&] {
+            mt = casestudy::runMultithreadCaseStudy(opts.run.scale);
+        });
+        pool.wait();
+    }
+
     std::printf("== Figure 12a: control-intensive offloads "
                 "(speedup vs OoO) ==\n");
-    for (auto runner : {&casestudy::runSpmvCaseStudy,
-                        &casestudy::runNwCaseStudy}) {
-        auto results = runner(opts.scale);
+    for (const char *wname : {"spmv", "nw"}) {
+        const auto &results = (std::string(wname) == "spmv")
+                                  ? spmv_results
+                                  : nw_results;
         const double base = results.front().timeNs;
-        const char *wname =
-            (runner == &casestudy::runSpmvCaseStudy) ? "spmv" : "nw";
         for (const auto &r : results) {
             std::printf("%-5s %-12s %8.3fx%s%s\n", wname,
                         r.config.c_str(), base / r.timeNs,
@@ -49,7 +69,6 @@ main(int argc, char **argv)
 
     std::printf("== Figure 12b: multithreading (speedup vs 1-thread "
                 "OoO) ==\n");
-    auto mt = casestudy::runMultithreadCaseStudy(opts.scale);
     std::printf("%-5s %-12s %8s %8s %8s %8s\n", "bench", "config",
                 "T=1", "T=2", "T=4", "T=8");
     for (std::size_t i = 0; i < mt.size(); i += 4) {

@@ -18,14 +18,26 @@ main(int argc, char **argv)
     setInformEnabled(false);
     const double clocks[] = {1.0, 2.0, 3.0};
 
-    std::map<std::pair<std::string, int>, driver::Metrics> results;
+    std::vector<driver::SweepJob> jobs;
     for (const std::string &w : workloads::workloadNames()) {
-        for (int c = 0; c < 3; ++c) {
-            driver::RunConfig cfg;
-            cfg.model = driver::ArchModel::DistDA_IO;
-            cfg.accelGHz = clocks[c];
-            results[{w, c}] = driver::runWorkload(w, cfg, opts);
+        for (double ghz : clocks) {
+            driver::SweepJob job;
+            job.workload = w;
+            job.config.model = driver::ArchModel::DistDA_IO;
+            job.config.accelGHz = ghz;
+            job.options = opts.run;
+            job.label = strfmt("Dist-DA-IO@%.0fG", ghz);
+            jobs.push_back(job);
         }
+    }
+    const auto sweep = driver::runSweep(jobs, opts.sweep);
+    driver::dieOnFailures(sweep);
+
+    std::map<std::pair<std::string, int>, driver::Metrics> results;
+    std::size_t next = 0;
+    for (const std::string &w : workloads::workloadNames()) {
+        for (int c = 0; c < 3; ++c)
+            results[{w, c}] = sweep[next++].metrics;
     }
 
     std::printf("== Figure 13: Dist-DA-IO clock sweep, normalized to "

@@ -9,9 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "src/compiler/partitioner.hh"
 #include "src/compiler/plan.hh"
 #include "src/driver/context.hh"
+#include "src/driver/pool.hh"
 #include "src/driver/system.hh"
 #include "src/mem/hierarchy.hh"
 #include "src/sim/event_queue.hh"
@@ -134,6 +137,26 @@ BM_EngineInvoke(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * (1 << 10));
 }
 BENCHMARK(BM_EngineInvoke);
+
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    // Submit/drain overhead of the sweep executor's pool; one sweep
+    // job costs milliseconds-to-seconds, so dispatch must stay micro.
+    driver::ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        pool.wait();
+    }
+    benchmark::DoNotOptimize(done.load());
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch);
 
 } // namespace
 

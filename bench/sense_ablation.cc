@@ -63,28 +63,43 @@ main(int argc, char **argv)
         variants.push_back({"4-deep channels", c});
     }
 
+    // One flat sweep over variant x workload; the sweep engine returns
+    // results in job order, so [vi * |workloads| + wi] indexes them.
+    const auto wnames = workloads::workloadNames();
+    std::vector<driver::SweepJob> jobs;
+    for (const Variant &v : variants) {
+        for (const std::string &w : wnames) {
+            driver::SweepJob job;
+            job.workload = w;
+            job.config = v.cfg;
+            job.options = opts.run;
+            job.label = v.name;
+            jobs.push_back(job);
+        }
+    }
+    const auto results = driver::runSweep(jobs, opts.sweep);
+    driver::dieOnFailures(results);
+    const auto at = [&](std::size_t vi,
+                        std::size_t wi) -> const driver::Metrics & {
+        return results[vi * wnames.size() + wi].metrics;
+    };
+
     std::printf("== Ablation: Dist-DA-F design choices "
                 "(geomean, normalized to full design) ==\n");
     std::printf("%-18s%12s%12s%14s\n", "variant", "speed", "energy",
                 "D-A bytes");
 
-    std::vector<double> base_time, base_energy, base_da;
-    for (const Variant &v : variants) {
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
         std::vector<double> rt, re, rd;
-        std::size_t wi = 0;
-        for (const std::string &w : workloads::workloadNames()) {
-            const auto m = driver::runWorkload(w, v.cfg, opts);
-            if (v.name == std::string("full design")) {
-                base_time.push_back(m.timeNs);
-                base_energy.push_back(m.totalEnergyPj);
-                base_da.push_back(std::max(m.daBytes, 1.0));
-            }
-            rt.push_back(base_time[wi] / m.timeNs);
-            re.push_back(base_energy[wi] / m.totalEnergyPj);
-            rd.push_back(std::max(m.daBytes, 1.0) / base_da[wi]);
-            ++wi;
+        for (std::size_t wi = 0; wi < wnames.size(); ++wi) {
+            const driver::Metrics &base = at(0, wi);
+            const driver::Metrics &m = at(vi, wi);
+            rt.push_back(base.timeNs / m.timeNs);
+            re.push_back(base.totalEnergyPj / m.totalEnergyPj);
+            rd.push_back(std::max(m.daBytes, 1.0) /
+                         std::max(base.daBytes, 1.0));
         }
-        std::printf("%-18s%12.3f%12.3f%14.3f\n", v.name,
+        std::printf("%-18s%12.3f%12.3f%14.3f\n", variants[vi].name,
                     driver::geomean(rt), driver::geomean(re),
                     driver::geomean(rd));
     }

@@ -18,22 +18,32 @@ main(int argc, char **argv)
     setInformEnabled(false);
 
     std::vector<double> sizes = {0.5, 1.0, 2.0, 4.0};
-    if (opts.scale >= 2.0)
+    if (opts.run.scale >= 2.0)
         sizes.push_back(8.0); // --paper: ~680MB working set
+
+    // Two jobs (Mono-DA-IO, Dist-DA-F) per working-set size.
+    std::vector<driver::SweepJob> jobs;
+    for (double s : sizes) {
+        for (driver::ArchModel model :
+             {driver::ArchModel::MonoDA_IO, driver::ArchModel::DistDA_F}) {
+            driver::SweepJob job;
+            job.workload = "fdt";
+            job.config.model = model;
+            job.options.scale = s;
+            jobs.push_back(job);
+        }
+    }
+    const auto results = driver::runSweep(jobs, opts.sweep);
+    driver::dieOnFailures(results);
 
     std::printf("== fdtd-2d working-set sweep: Dist-DA-F vs Mono-DA-IO "
                 "==\n");
     std::printf("%10s%12s%14s%14s%16s\n", "scale", "set(MB)",
                 "energy-eff", "speedup", "onchip-move-x");
-    for (double s : sizes) {
-        driver::RunOptions o;
-        o.scale = s;
-        driver::RunConfig mono;
-        mono.model = driver::ArchModel::MonoDA_IO;
-        driver::RunConfig dist;
-        dist.model = driver::ArchModel::DistDA_F;
-        const auto mm = driver::runWorkload("fdt", mono, o);
-        const auto dm = driver::runWorkload("fdt", dist, o);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const double s = sizes[i];
+        const driver::Metrics &mm = results[2 * i].metrics;
+        const driver::Metrics &dm = results[2 * i + 1].metrics;
 
         // On-chip data movement excludes the DRAM interface bytes.
         auto onchip = [](const driver::Metrics &m) {

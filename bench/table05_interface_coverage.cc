@@ -8,6 +8,7 @@
  */
 
 #include "bench/bench_common.hh"
+#include "src/driver/pool.hh"
 #include "src/driver/system.hh"
 
 using namespace distda;
@@ -32,22 +33,38 @@ main(int argc, char **argv)
     }
     std::printf("\n");
 
-    for (const std::string &w : workloads::workloadNames()) {
-        auto wl = workloads::makeWorkload(w, opts.scale * 0.25);
-        driver::SystemParams sp;
-        sp.arenaBytes = wl->arenaBytes();
-        driver::System sys(sp);
-        wl->setup(sys);
+    // Each workload's compile+coverage pass is independent: fan out on
+    // the driver pool, then print the rows in Table IV order.
+    const auto wnames = workloads::workloadNames();
+    std::vector<compiler::MechanismSet> coverage(wnames.size());
+    {
+        driver::ThreadPool pool(opts.sweep.jobs > 0
+                                    ? opts.sweep.jobs
+                                    : driver::defaultJobCount());
+        for (std::size_t wi = 0; wi < wnames.size(); ++wi) {
+            pool.submit([&, wi] {
+                auto wl = workloads::makeWorkload(
+                    wnames[wi], opts.run.scale * 0.25);
+                driver::SystemParams sp;
+                sp.arenaBytes = wl->arenaBytes();
+                driver::System sys(sp);
+                wl->setup(sys);
 
-        compiler::MechanismSet set{};
-        for (const compiler::Kernel *k : wl->kernels()) {
-            auto plan = compiler::compileKernel(*k);
-            for (std::size_t i = 0; i < num_mechs; ++i)
-                set[i] = set[i] || plan.mechanisms[i];
+                compiler::MechanismSet set{};
+                for (const compiler::Kernel *k : wl->kernels()) {
+                    auto plan = compiler::compileKernel(*k);
+                    for (std::size_t i = 0; i < num_mechs; ++i)
+                        set[i] = set[i] || plan.mechanisms[i];
+                }
+                coverage[wi] = set;
+            });
         }
-        std::printf("%-18s", w.c_str());
+        pool.wait();
+    }
+    for (std::size_t wi = 0; wi < wnames.size(); ++wi) {
+        std::printf("%-18s", wnames[wi].c_str());
         for (std::size_t i = 0; i < num_mechs; ++i)
-            std::printf(" %-9s", set[i] ? "C" : "");
+            std::printf(" %-9s", coverage[wi][i] ? "C" : "");
         std::printf("\n");
     }
 

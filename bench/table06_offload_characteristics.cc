@@ -18,19 +18,29 @@ main(int argc, char **argv)
     const auto opts = bench::parseOptions(argc, argv);
     setInformEnabled(false);
 
+    std::vector<driver::SweepJob> jobs;
+    for (const std::string &w : workloads::workloadNames()) {
+        driver::SweepJob job;
+        job.workload = w;
+        job.config.model = driver::ArchModel::DistDA_IO;
+        job.options = opts.run;
+        jobs.push_back(job);
+    }
+    const auto sweep = driver::runSweep(jobs, opts.sweep);
+    driver::dieOnFailures(sweep);
+
     std::printf("== Table VI: offload characteristics (Dist-DA-IO) "
                 "==\n");
     std::printf("%-6s%8s%8s%8s%7s%8s%10s%10s%8s\n", "bench", "%cc",
                 "%dc", "%init", "#buf", "#parts", "#insts", "DFGdim",
                 "insts(B)");
 
+    std::size_t next = 0;
     for (const std::string &w : workloads::workloadNames()) {
-        driver::RunConfig cfg;
-        cfg.model = driver::ArchModel::DistDA_IO;
-        const driver::Metrics m = driver::runWorkload(w, cfg, opts);
+        const driver::Metrics &m = sweep[next++].metrics;
 
         // Static characteristics from the compiled plans.
-        auto wl = workloads::makeWorkload(w, opts.scale);
+        auto wl = workloads::makeWorkload(w, opts.run.scale);
         driver::SystemParams sp;
         sp.arenaBytes = wl->arenaBytes();
         driver::System sys(sp);

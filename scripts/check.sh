@@ -3,13 +3,17 @@
 #   1. configure + build into a throwaway build dir
 #   2. fast static-verification smoke pass over every workload
 #   3. full test suite
-#   4. ASan+UBSan and TSan test-suite runs
-#   5. clang-tidy (when available)
-#   6. optionally ($RUN_BENCH=1) regenerate every table/figure
+#   4. parallel-sweep determinism smoke (--jobs=1 vs --jobs=N CSV)
+#   5. quick bench smoke through the sweep engine
+#   6. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
+#      sweep smoke
+#   7. clang-tidy (when available)
+#   8. optionally ($RUN_BENCH=1) regenerate every table/figure
 set -e
 cd "$(dirname "$0")/.."
 
 BUILD="${BUILD_DIR:-build-check}"
+JOBS="$(nproc)"
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
@@ -27,6 +31,18 @@ done
 echo "===== tests"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
+echo "===== parallel sweep determinism (--jobs=1 vs --jobs=$JOBS)"
+"$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
+    --jobs=1 >"$BUILD/sweep-serial.csv" 2>/dev/null
+"$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
+    --jobs="$JOBS" >"$BUILD/sweep-parallel.csv" 2>/dev/null
+cmp "$BUILD/sweep-serial.csv" "$BUILD/sweep-parallel.csv"
+
+echo "===== quick bench smoke (--quick --jobs=$JOBS)"
+"$BUILD"/bench/fig11_performance --quick --jobs="$JOBS" >/dev/null
+"$BUILD"/bench/table06_offload_characteristics --quick \
+    --jobs="$JOBS" >/dev/null
+
 for SAN in address thread; do
     echo "===== tests under $SAN sanitizer"
     # shellcheck disable=SC2086
@@ -34,6 +50,10 @@ for SAN in address thread; do
     cmake --build "$BUILD-$SAN" -j "$(nproc)"
     ctest --test-dir "$BUILD-$SAN" --output-on-failure -j "$(nproc)"
 done
+
+echo "===== TSan parallel sweep smoke"
+"$BUILD-thread"/tools/distda_run --workload=all --config=all --quick \
+    --jobs=4 >/dev/null
 
 if command -v clang-tidy >/dev/null 2>&1; then
     echo "===== clang-tidy"
@@ -46,7 +66,13 @@ fi
 
 if [ "${RUN_BENCH:-0}" = "1" ]; then
     for b in "$BUILD"/bench/*; do
-        [ -f "$b" ] && [ -x "$b" ] && echo "===== $b" && "$b"
+        [ -f "$b" ] && [ -x "$b" ] || continue
+        echo "===== $b"
+        case "$b" in
+          # google-benchmark / no-sweep binaries take no sweep flags.
+          */micro_primitives|*/table_area) "$b" ;;
+          *) "$b" --jobs="$JOBS" ;;
+        esac
     done
 fi
 echo "===== all checks passed"

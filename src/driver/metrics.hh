@@ -71,7 +71,23 @@ struct Metrics
 
     bool validated = false;
 
+    /**
+     * Host wall-clock spent simulating this run (setup + execution +
+     * validation), measured by the runner. Machine-dependent, so it is
+     * excluded from the CSV columns to keep sweep output identical at
+     * every --jobs level.
+     */
+    double wallMs = 0.0;
+    double setupWallMs = 0.0; ///< workload construction + setup share
+
     double totalInsts() const { return hostInsts + accelInsts; }
+
+    /** Simulated nanoseconds per host wall-clock millisecond. */
+    double
+    simRate() const
+    {
+        return wallMs > 0.0 ? timeNs / wallMs : 0.0;
+    }
 
     /** IPC against the 2GHz host clock (Fig 11a). */
     double

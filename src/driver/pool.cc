@@ -1,0 +1,72 @@
+#include "src/driver/pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace distda::driver
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(threads, 1);
+    _workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _stop = true;
+    }
+    _workReady.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _queue.push_back(std::move(task));
+    }
+    _workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    _allDone.wait(lk, [this] { return _queue.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            _workReady.wait(
+                lk, [this] { return _stop || !_queue.empty(); });
+            // Keep draining after stop: the destructor promises
+            // completion of everything already submitted.
+            if (_queue.empty())
+                return;
+            task = std::move(_queue.front());
+            _queue.pop_front();
+            ++_active;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            --_active;
+            if (_queue.empty() && _active == 0)
+                _allDone.notify_all();
+        }
+    }
+}
+
+} // namespace distda::driver

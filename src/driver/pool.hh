@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool used by the sweep executor (and
+ * directly by bench binaries with irregular job shapes). Tasks are
+ * plain callables drained FIFO by N worker threads; wait() blocks the
+ * caller until the queue is empty and every in-flight task finished.
+ *
+ * Tasks must not throw: callers wrap their work (the sweep executor
+ * catches SimFailure/std::exception per job). A task that escapes with
+ * an exception terminates the process, same as std::thread.
+ */
+
+#ifndef DISTDA_DRIVER_POOL_HH
+#define DISTDA_DRIVER_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace distda::driver
+{
+
+/** Fixed-size FIFO worker pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (values < 1 clamp to 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have completed. */
+    void wait();
+
+    int size() const { return static_cast<int>(_workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _queue;
+    std::mutex _mu;
+    std::condition_variable _workReady; ///< workers: queue or stop
+    std::condition_variable _allDone;   ///< wait(): queue empty + idle
+    int _active = 0;                    ///< tasks currently executing
+    bool _stop = false;
+};
+
+} // namespace distda::driver
+
+#endif // DISTDA_DRIVER_POOL_HH

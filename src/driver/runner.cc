@@ -1,5 +1,6 @@
 #include "src/driver/runner.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -14,6 +15,12 @@ Metrics
 runWorkload(const std::string &workload, const RunConfig &config,
             const RunOptions &opts)
 {
+    using Clock = std::chrono::steady_clock;
+    const auto wall_ms = [](Clock::time_point a, Clock::time_point b) {
+        return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    const auto t0 = Clock::now();
+
     auto wl = workloads::makeWorkload(workload, opts.scale);
 
     SystemParams sp;
@@ -22,6 +29,8 @@ runWorkload(const std::string &workload, const RunConfig &config,
     System sys(sp);
 
     wl->setup(sys);
+    const auto t_setup = Clock::now();
+
     ExecContext ctx(sys, config);
     wl->run(ctx);
 
@@ -32,6 +41,8 @@ runWorkload(const std::string &workload, const RunConfig &config,
         warn("workload '%s' under %s failed validation",
              workload.c_str(), archModelName(config.model));
     }
+    m.setupWallMs = wall_ms(t0, t_setup);
+    m.wallMs = wall_ms(t0, Clock::now());
     return m;
 }
 

@@ -12,7 +12,26 @@ namespace
 // Toggled by drivers while worker threads may be mid-run, so atomic;
 // it only gates status output.
 std::atomic<bool> informEnabledFlag{true};
+
+// Per-thread nesting depth of active ScopedFailureCapture guards.
+thread_local int captureDepth = 0;
 } // namespace
+
+ScopedFailureCapture::ScopedFailureCapture()
+{
+    ++captureDepth;
+}
+
+ScopedFailureCapture::~ScopedFailureCapture()
+{
+    --captureDepth;
+}
+
+bool
+ScopedFailureCapture::active()
+{
+    return captureDepth > 0;
+}
 
 std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -45,6 +64,8 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
+    if (ScopedFailureCapture::active())
+        throw SimFailure("panic: " + s, true);
     std::fprintf(stderr, "panic: %s\n", s.c_str());
     std::abort();
 }
@@ -56,6 +77,8 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
+    if (ScopedFailureCapture::active())
+        throw SimFailure("fatal: " + s, false);
     std::fprintf(stderr, "fatal: %s\n", s.c_str());
     std::exit(1);
 }

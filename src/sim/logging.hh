@@ -13,10 +13,51 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 namespace distda
 {
+
+/**
+ * Thrown instead of terminating when a ScopedFailureCapture is active
+ * on the calling thread and panic()/fatal() fires. Carries the
+ * formatted message; isPanic distinguishes invariant violations from
+ * user errors.
+ */
+class SimFailure : public std::runtime_error
+{
+  public:
+    SimFailure(const std::string &msg, bool is_panic)
+        : std::runtime_error(msg), _isPanic(is_panic)
+    {}
+
+    bool isPanic() const { return _isPanic; }
+
+  private:
+    bool _isPanic;
+};
+
+/**
+ * RAII guard converting panic()/fatal() on the *current thread* into a
+ * SimFailure exception for the guard's lifetime. Used by the sweep
+ * executor so one failing job reports as failed instead of taking the
+ * whole process (and every queued sibling job) down with it. Nests;
+ * death-path behavior elsewhere (tests' EXPECT_DEATH) is unaffected.
+ */
+class ScopedFailureCapture
+{
+  public:
+    ScopedFailureCapture();
+    ~ScopedFailureCapture();
+
+    ScopedFailureCapture(const ScopedFailureCapture &) = delete;
+    ScopedFailureCapture &operator=(const ScopedFailureCapture &) =
+        delete;
+
+    /** True when a capture guard is active on this thread. */
+    static bool active();
+};
 
 /** Printf-style formatting into a std::string. */
 std::string vstrfmt(const char *fmt, va_list ap);
@@ -25,11 +66,19 @@ std::string vstrfmt(const char *fmt, va_list ap);
 std::string strfmt(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Abort with a message: something that should never happen happened. */
+/**
+ * Abort with a message: something that should never happen happened.
+ * Throws SimFailure instead when a ScopedFailureCapture is active on
+ * the calling thread.
+ */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Exit with a message: the simulation cannot continue (user error). */
+/**
+ * Exit with a message: the simulation cannot continue (user error).
+ * Throws SimFailure instead when a ScopedFailureCapture is active on
+ * the calling thread.
+ */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 

@@ -1,14 +1,21 @@
 /**
  * @file
  * Command-line runner: execute any Table IV workload under any tested
- * configuration and print the full metrics record.
+ * configuration — or sweep `--workload=all --config=all` through the
+ * driver's parallel sweep engine — and print the full metrics records.
  *
  * Usage:
- *   distda_run [--list] [--workload=<name>] [--config=<model>]
- *              [--scale=<f>] [--ghz=<f>] [--csv]
+ *   distda_run [--list] [--workload=<name>|all] [--config=<model>|all]
+ *              [--scale=<f>] [--ghz=<f>] [--csv] [--jobs=<n>]
+ *              [--quick] [--paper]
  *              [--no-combining] [--no-retention]
  *              [--buffer=<bytes>] [--channel=<elems>]
  *              [--verify[=warn|error|off]] [--verify-only]
+ *
+ * --jobs=<n> runs the sweep's independent simulations on n worker
+ * threads (default: DISTDA_JOBS, else hardware_concurrency). Results
+ * are reported in deterministic job order and each simulation is
+ * deterministic, so output is byte-identical at every --jobs level.
  *
  * --verify sets how statically-detected plan bugs are treated during
  * compilation (default: error). --verify-only compiles every kernel,
@@ -18,15 +25,18 @@
  * Examples:
  *   distda_run --workload=fdt --config=Dist-DA-F
  *   distda_run --workload=bfs --config=all --csv
+ *   distda_run --workload=all --config=all --csv --jobs=8
  *   distda_run --workload=cho --config=Dist-DA-F --verify-only
  */
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "src/driver/runner.hh"
+#include "src/driver/sweep.hh"
 #include "src/workloads/workload.hh"
 
 using namespace distda;
@@ -34,16 +44,22 @@ using namespace distda;
 namespace
 {
 
-driver::ArchModel
-parseModel(const std::string &name)
+const std::vector<driver::ArchModel> &
+allModels()
 {
-    const driver::ArchModel all[] = {
+    static const std::vector<driver::ArchModel> models = {
         driver::ArchModel::OoO,          driver::ArchModel::MonoCA,
         driver::ArchModel::MonoDA_IO,    driver::ArchModel::MonoDA_F,
         driver::ArchModel::DistDA_IO,    driver::ArchModel::DistDA_F,
         driver::ArchModel::DistDA_IO_SW, driver::ArchModel::DistDA_F_A,
     };
-    for (driver::ArchModel m : all) {
+    return models;
+}
+
+driver::ArchModel
+parseModel(const std::string &name)
+{
+    for (driver::ArchModel m : allModels()) {
         if (name == driver::archModelName(m))
             return m;
     }
@@ -63,6 +79,19 @@ parseVerifyMode(const std::string &name)
             return m;
     }
     fatal("unknown verify mode '%s' (off|warn|error)", name.c_str());
+}
+
+void
+printList()
+{
+    std::printf("workloads (--workload=; 'all' sweeps the core 12):\n");
+    for (const auto &w : workloads::workloadNames())
+        std::printf("  %s\n", w.c_str());
+    std::printf("  spmv (case study; not part of 'all')\n");
+    std::printf("configs (--config=; 'all' sweeps the headline 6):\n");
+    for (driver::ArchModel m : allModels())
+        std::printf("  %s\n", driver::archModelName(m));
+    std::printf("  all\n");
 }
 
 void
@@ -101,28 +130,6 @@ printHuman(const driver::Metrics &m)
     std::printf("\n");
 }
 
-void
-printCsvHeader()
-{
-    std::printf("workload,config,validated,time_ns,energy_pj,"
-                "host_insts,accel_insts,mem_ops,cache_accesses,"
-                "data_movement_bytes,noc_ctrl,noc_data,noc_acc_ctrl,"
-                "noc_acc_data,intra,da,aa,mmio\n");
-}
-
-void
-printCsv(const driver::Metrics &m)
-{
-    std::printf("%s,%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,"
-                "%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
-                m.workload.c_str(), m.config.c_str(), m.validated,
-                m.timeNs, m.totalEnergyPj, m.hostInsts, m.accelInsts,
-                m.kernelMemOps, m.cacheAccesses, m.dataMovementBytes,
-                m.nocCtrlBytes, m.nocDataBytes, m.nocAccCtrlBytes,
-                m.nocAccDataBytes, m.intraBytes, m.daBytes, m.aaBytes,
-                m.mmioOps);
-}
-
 } // namespace
 
 int
@@ -132,18 +139,14 @@ main(int argc, char **argv)
     std::string config = "Dist-DA-F";
     driver::RunConfig cfg;
     driver::RunOptions opts;
+    driver::SweepOptions sweep_opts;
     bool csv = false;
     bool verify_only = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list") {
-            std::printf("workloads:");
-            for (const auto &w : workloads::workloadNames())
-                std::printf(" %s", w.c_str());
-            std::printf(" spmv\nconfigs: OoO Mono-CA Mono-DA-IO "
-                        "Mono-DA-F Dist-DA-IO Dist-DA-F Dist-DA-IO+SW "
-                        "Dist-DA-F+A all\n");
+            printList();
             return 0;
         } else if (arg.rfind("--workload=", 0) == 0) {
             workload = arg.substr(11);
@@ -151,6 +154,12 @@ main(int argc, char **argv)
             config = arg.substr(9);
         } else if (arg.rfind("--scale=", 0) == 0) {
             opts.scale = std::atof(arg.c_str() + 8);
+        } else if (arg == "--quick") {
+            opts.scale = 0.25;
+        } else if (arg == "--paper") {
+            opts.scale = 2.0;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            sweep_opts.jobs = std::atoi(arg.c_str() + 7);
         } else if (arg.rfind("--ghz=", 0) == 0) {
             cfg.accelGHz = std::atof(arg.c_str() + 6);
         } else if (arg == "--csv") {
@@ -176,6 +185,12 @@ main(int argc, char **argv)
     }
 
     setInformEnabled(false);
+    std::vector<std::string> workload_names;
+    if (workload == "all")
+        workload_names = workloads::workloadNames();
+    else
+        workload_names.push_back(workload);
+
     std::vector<driver::ArchModel> models;
     if (config == "all")
         models = driver::headlineModels();
@@ -183,23 +198,49 @@ main(int argc, char **argv)
         models.push_back(parseModel(config));
 
     if (verify_only) {
+        // Verification prints per-kernel diagnostics as it goes, so it
+        // stays serial; it compiles without simulating and is fast.
         int errors = 0;
-        for (driver::ArchModel m : models) {
-            cfg.model = m;
-            errors += driver::verifyWorkload(workload, cfg, opts);
+        for (const std::string &w : workload_names) {
+            for (driver::ArchModel m : models) {
+                cfg.model = m;
+                errors += driver::verifyWorkload(w, cfg, opts);
+            }
         }
         return errors ? 1 : 0;
     }
 
-    if (csv)
-        printCsvHeader();
-    for (driver::ArchModel m : models) {
-        cfg.model = m;
-        const auto metrics = driver::runWorkload(workload, cfg, opts);
-        if (csv)
-            printCsv(metrics);
-        else
-            printHuman(metrics);
+    std::vector<driver::SweepJob> jobs;
+    for (const std::string &w : workload_names) {
+        for (driver::ArchModel m : models) {
+            driver::SweepJob job;
+            job.workload = w;
+            job.config = cfg;
+            job.config.model = m;
+            job.options = opts;
+            jobs.push_back(job);
+        }
     }
+
+    // Progress/ETA on stderr for interactive multi-run sweeps; never
+    // when redirected, so captured output is --jobs-invariant.
+    sweep_opts.progress = jobs.size() > 1 && ::isatty(2) != 0;
+
+    const auto results = driver::runSweep(jobs, sweep_opts);
+
+    // Consolidated report in deterministic job order: one CSV header
+    // then data rows, or the human-readable records.
+    if (csv)
+        std::printf("%s\n", driver::csvHeader().c_str());
+    for (const auto &r : results) {
+        if (!r.ok)
+            continue;
+        if (csv)
+            std::printf("%s\n", driver::csvRow(r.metrics).c_str());
+        else
+            printHuman(r.metrics);
+    }
+    if (!driver::allOk(results))
+        driver::dieOnFailures(results);
     return 0;
 }
