@@ -47,9 +47,11 @@ BM_CacheAccess(benchmark::State &state)
     mem::CacheParams cp;
     cp.sizeBytes = 32 * 1024;
     mem::Cache cache(cp, &acct,
-                     [](mem::Addr, bool, sim::Tick) {
-                         return sim::Tick(20000);
-                     });
+                     mem::Cache::Downstream(
+                         [](void *, mem::Addr, bool, sim::Tick) {
+                             return sim::Tick(20000);
+                         },
+                         nullptr));
     sim::Rng rng(1);
     sim::Tick now = 0;
     for (auto _ : state) {

@@ -58,10 +58,14 @@ main()
 
     accel::AccessStats stats;
     auto port = [&hier](int cluster) {
-        return [&hier, cluster](mem::Addr a, std::uint32_t s, bool w,
-                                sim::Tick tk) {
-            return hier.accelAccess(a, s, w, cluster, tk).latency;
-        };
+        return accel::MemPort(
+            [](void *ctx, mem::Addr a, std::uint32_t s, bool w,
+               sim::Tick tk) {
+                return static_cast<mem::Cache *>(ctx)
+                    ->access(a, s, w, tk)
+                    .latency;
+            },
+            &hier.acp(cluster));
     };
 
     accel::StreamParams rp;

@@ -4,11 +4,14 @@
 #   2. fast static-verification smoke pass over every workload
 #   3. full test suite
 #   4. parallel-sweep determinism smoke (--jobs=1 vs --jobs=N CSV)
+#      plus byte-identity against the committed golden CSV
 #   5. quick bench smoke through the sweep engine
-#   6. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
+#   6. Release build + perf-regression gate (bench/perf_baseline vs
+#      the committed BENCH_seed.json, via scripts/perf_check.sh)
+#   7. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
 #      sweep smoke
-#   7. clang-tidy (when available)
-#   8. optionally ($RUN_BENCH=1) regenerate every table/figure
+#   8. clang-tidy (when available)
+#   9. optionally ($RUN_BENCH=1) regenerate every table/figure
 set -e
 cd "$(dirname "$0")/.."
 
@@ -37,11 +40,23 @@ echo "===== parallel sweep determinism (--jobs=1 vs --jobs=$JOBS)"
 "$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
     --jobs="$JOBS" >"$BUILD/sweep-parallel.csv" 2>/dev/null
 cmp "$BUILD/sweep-serial.csv" "$BUILD/sweep-parallel.csv"
+cmp tests/golden/quick_sweep.csv "$BUILD/sweep-serial.csv"
 
 echo "===== quick bench smoke (--quick --jobs=$JOBS)"
 "$BUILD"/bench/fig11_performance --quick --jobs="$JOBS" >/dev/null
 "$BUILD"/bench/table06_offload_characteristics --quick \
     --jobs="$JOBS" >/dev/null
+
+echo "===== Release build + perf-regression gate"
+# shellcheck disable=SC2086
+cmake -B "$BUILD-release" $GEN -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD-release" -j "$(nproc)" --target perf_baseline \
+    distda_run
+"$BUILD-release"/tools/distda_run --workload=pr --config=Dist-DA-F \
+    --quick >/dev/null
+"$BUILD-release"/bench/perf_baseline --label=check \
+    --out="$BUILD-release"
+scripts/perf_check.sh "$BUILD-release/BENCH_check.json"
 
 for SAN in address thread; do
     echo "===== tests under $SAN sanitizer"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Compare a perf record written by bench/perf_baseline against the
+# committed baseline and fail on wall-clock regressions beyond the
+# tolerance band.
+#
+# Usage: scripts/perf_check.sh <current.json> [baseline.json] [tolerance]
+#
+#   current.json   record to check (from bench/perf_baseline)
+#   baseline.json  reference record (default: BENCH_seed.json next to
+#                  this repo's root)
+#   tolerance      allowed fractional slowdown of total wall-clock
+#                  (default 0.50: fail only when > 1.5x the baseline,
+#                  generous because CI machines are noisy and shared)
+#
+# Per-workload slowdowns beyond the band are reported as warnings;
+# only the total gates, so one noisy tiny workload cannot fail a run.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+current="${1:?usage: perf_check.sh <current.json> [baseline.json] [tol]}"
+baseline="${2:-$repo_root/BENCH_seed.json}"
+tolerance="${3:-0.50}"
+
+[ -f "$current" ] || { echo "perf_check: missing $current" >&2; exit 2; }
+[ -f "$baseline" ] || { echo "perf_check: missing $baseline" >&2; exit 2; }
+
+python3 - "$current" "$baseline" "$tolerance" <<'EOF'
+import json
+import sys
+from collections import defaultdict
+
+cur_path, base_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(cur_path) as f:
+    cur = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+if cur.get("scale") != base.get("scale") or cur.get("jobs") != base.get("jobs"):
+    print(f"perf_check: records not comparable: "
+          f"scale {cur.get('scale')} vs {base.get('scale')}, "
+          f"jobs {cur.get('jobs')} vs {base.get('jobs')}", file=sys.stderr)
+    sys.exit(2)
+
+
+def per_workload(rec):
+    acc = defaultdict(float)
+    for run in rec["runs"]:
+        acc[run["workload"]] += run["wall_ms"]
+    return acc
+
+
+cur_wl, base_wl = per_workload(cur), per_workload(base)
+for wl in sorted(base_wl):
+    if wl not in cur_wl:
+        print(f"perf_check: WARNING workload '{wl}' missing from current "
+              "record", file=sys.stderr)
+        continue
+    if base_wl[wl] >= 1.0 and cur_wl[wl] > base_wl[wl] * (1.0 + tol):
+        print(f"perf_check: WARNING {wl}: {cur_wl[wl]:.0f} ms vs baseline "
+              f"{base_wl[wl]:.0f} ms (+{cur_wl[wl] / base_wl[wl] - 1.0:.0%})",
+              file=sys.stderr)
+
+cur_total = cur["total_wall_ms"]
+base_total = base["total_wall_ms"]
+ratio = cur_total / base_total
+print(f"perf_check: total {cur_total:.0f} ms vs baseline {base_total:.0f} ms "
+      f"({ratio:.2f}x, tolerance {1.0 + tol:.2f}x)")
+if ratio > 1.0 + tol:
+    print("perf_check: FAIL: wall-clock regression beyond tolerance",
+          file=sys.stderr)
+    sys.exit(1)
+print("perf_check: OK")
+EOF

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "src/sim/logging.hh"
 #include "src/sim/trace.hh"
@@ -34,6 +35,27 @@ StreamUnit::StreamUnit(const StreamParams &params, MemPort port,
     _capacityChunks = std::max<std::int64_t>(
         params.capacityBytes / std::max<std::uint32_t>(_fetchBytes, 1),
         2);
+
+    _sameCluster = params.unitCluster == params.consumerCluster;
+    _lookahead = std::max<std::int64_t>(_capacityChunks / 2, 1);
+    _lastChunk = chunkOf(
+        static_cast<std::int64_t>(
+            std::max<std::uint64_t>(params.totalElems, 1)) -
+        1);
+    updateFastBounds();
+}
+
+void
+StreamUnit::updateFastBounds()
+{
+    _winLoK = _loChunk * _elemsPerFetch;
+    _winHiK = _hiChunk * _elemsPerFetch;
+    // The lookahead loop runs iff _hiChunk <= min(lead_c + lookahead,
+    // last_c); once the window reaches past the last chunk it can
+    // never run again.
+    _fastLeadLimitK = _hiChunk > _lastChunk
+                          ? std::numeric_limits<std::int64_t>::max()
+                          : (_hiChunk - _lookahead) * _elemsPerFetch;
 }
 
 void
@@ -73,6 +95,7 @@ StreamUnit::grow(std::int64_t c, sim::Tick now, bool fetch)
               static_cast<long long>(_loChunk),
               static_cast<long long>(_hiChunk));
     }
+    updateFastBounds();
 }
 
 void
@@ -95,6 +118,7 @@ StreamUnit::evictFront(sim::Tick now)
     }
     _window.pop_front();
     ++_loChunk;
+    updateFastBounds();
 }
 
 void
@@ -128,6 +152,25 @@ StreamUnit::readAt(std::int64_t k, sim::Tick consumer_now,
 {
     DISTDA_ASSERT(_params.hasLoads, "readAt on a store-only stream");
     const std::int64_t eff_k = k - tap_distance;
+
+    // Steady-state fast path: a same-cluster in-window read whose lead
+    // is far enough behind the fill FSM that ensure() and the
+    // lookahead loop below are provably no-ops. Everything observable
+    // — stats, _leadK, the returned tick — matches the general path
+    // exactly; only the skipped work is work that would do nothing.
+    if (_sameCluster && tap_distance <= _maxTapDistance &&
+        eff_k >= _winLoK && eff_k < _winHiK && k < _fastLeadLimitK &&
+        _leadK < _fastLeadLimitK) {
+        if (k > _leadK)
+            _leadK = k;
+        _stats->intraBytes += _params.elemBytes;
+        _stats->bufferAccesses += 1.0;
+        const sim::Tick ready =
+            _window[static_cast<std::size_t>(chunkOf(eff_k) - _loChunk)]
+                .ready;
+        return ready > consumer_now ? ready : consumer_now;
+    }
+
     const std::int64_t c = chunkOf(eff_k);
 
     _maxTapDistance = std::max(_maxTapDistance, tap_distance);
@@ -264,6 +307,7 @@ StreamUnit::rewind(sim::Tick now)
         flush(now);
         _window.clear();
         _loChunk = _hiChunk = 0;
+        updateFastBounds();
     }
     _leadK = 0;
     _maxTapDistance = 0;
@@ -274,30 +318,6 @@ RandomUnit::RandomUnit(int cluster, MemPort port, AccessStats *stats,
     : _cluster(cluster), _port(std::move(port)), _stats(stats),
       _cycleTick(cycle_tick)
 {
-}
-
-sim::Tick
-RandomUnit::access(mem::Addr addr, std::uint32_t elem_bytes, bool write,
-                   sim::Tick now, sim::Tick hide_ticks)
-{
-    // One cycle in the translation block (object-buffer mapping).
-    const sim::Tick start = now + _cycleTick;
-    (void)_cluster;
-    const sim::Tick lat = _port(addr, elem_bytes, write, start);
-    _stats->daBytes += elem_bytes;
-
-    if (write) {
-        // Posted: the write drains through the memory interface block
-        // in the background; ordering per object is preserved by the
-        // partition's serial execution.
-        return start;
-    }
-
-    // Indirect-stream run-ahead: when the index itself comes from a
-    // prefetchable stream (B[A[i]]), the access unit issues the access
-    // hide_ticks early; pointer-chasing recurrences get no run-ahead.
-    const sim::Tick visible = lat > hide_ticks ? lat - hide_ticks : 0;
-    return start + visible;
 }
 
 } // namespace distda::accel

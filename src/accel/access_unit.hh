@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "src/compiler/dfg.hh"
 #include "src/mem/hierarchy.hh"
@@ -38,9 +37,48 @@ namespace distda::accel
  * Memory-side port of an access unit: (addr, bytes, write, now) ->
  * latency. Normally the cluster's ACP into the local L3; the Mono-CA
  * configuration routes it through the accelerator's 8KB private cache.
+ *
+ * A non-owning function-pointer + context view rather than a
+ * std::function: ports sit on the per-element simulation hot path and
+ * the type-erased call (plus potential heap allocation) showed up in
+ * profiles. The context object must outlive the unit holding the port;
+ * in practice ports point at a Cache owned by the Hierarchy or the
+ * DataflowEngine, both of which outlive every access unit.
  */
-using MemPort = std::function<sim::Tick(mem::Addr, std::uint32_t, bool,
-                                        sim::Tick)>;
+class MemPort
+{
+  public:
+    using Fn = sim::Tick (*)(void *, mem::Addr, std::uint32_t, bool,
+                             sim::Tick);
+
+    MemPort() = default;
+    MemPort(Fn fn, void *ctx) : _fn(fn), _ctx(ctx) {}
+
+    /** Adapt any callable lvalue; @p f must outlive the port. */
+    template <typename F>
+    static MemPort
+    of(F &f)
+    {
+        return MemPort(
+            [](void *ctx, mem::Addr a, std::uint32_t s, bool w,
+               sim::Tick t) {
+                return (*static_cast<F *>(ctx))(a, s, w, t);
+            },
+            &f);
+    }
+
+    sim::Tick
+    operator()(mem::Addr a, std::uint32_t s, bool w, sim::Tick t) const
+    {
+        return _fn(_ctx, a, s, w, t);
+    }
+
+    explicit operator bool() const { return _fn != nullptr; }
+
+  private:
+    Fn _fn = nullptr;
+    void *_ctx = nullptr;
+};
 
 /** Figure 9's dynamic-access-distribution counters, in bytes. */
 struct AccessStats
@@ -142,6 +180,12 @@ class StreamUnit
     /** Evict the oldest chunk, draining when dirty. */
     void evictFront(sim::Tick now);
 
+    /**
+     * Refresh the precomputed element-space bounds the readAt fast
+     * path checks against; call after any window shape change.
+     */
+    void updateFastBounds();
+
     Chunk &chunk(std::int64_t c)
     {
         return _window[static_cast<std::size_t>(c - _loChunk)];
@@ -163,6 +207,18 @@ class StreamUnit
     std::int64_t _maxTapDistance = 0;
     sim::Tick _fsmNow = 0;
     std::deque<sim::Tick> _drainDone;
+
+    // Steady-state fast-path state: the common sequential read is an
+    // in-window hit that triggers neither ensure() nor the lookahead
+    // loop. These bounds, refreshed by updateFastBounds() on every
+    // window shape change, let readAt prove that with three compares.
+    bool _sameCluster;       ///< unit and consumer co-located
+    std::int64_t _lookahead; ///< fill-FSM lookahead distance, chunks
+    std::int64_t _lastChunk; ///< chunk of the stream's final element
+    std::int64_t _winLoK = 0;        ///< window start, element space
+    std::int64_t _winHiK = 0;        ///< window end, element space
+    std::int64_t _fastLeadLimitK = 0; ///< lead below which the
+                                      ///< lookahead loop is a no-op
 };
 
 /** The random-access (cp_read / cp_write) path of one partition. */
@@ -177,10 +233,31 @@ class RandomUnit
      * ahead the access could be issued: indirect-stream patterns
      * (B[A[i]]) run ahead of the consumer, and the +SW configuration's
      * software prefetches extend the window further; pointer-chasing
-     * recurrences pass zero.
+     * recurrences pass zero. Inline: one call per irregular element.
      */
-    sim::Tick access(mem::Addr addr, std::uint32_t elem_bytes, bool write,
-                     sim::Tick now, sim::Tick hide_ticks);
+    sim::Tick
+    access(mem::Addr addr, std::uint32_t elem_bytes, bool write,
+           sim::Tick now, sim::Tick hide_ticks)
+    {
+        // One cycle in the translation block (object-buffer mapping).
+        const sim::Tick start = now + _cycleTick;
+        const sim::Tick lat = _port(addr, elem_bytes, write, start);
+        _stats->daBytes += elem_bytes;
+
+        if (write) {
+            // Posted: the write drains through the memory interface
+            // block in the background; ordering per object is
+            // preserved by the partition's serial execution.
+            return start;
+        }
+
+        // Indirect-stream run-ahead: when the index itself comes from
+        // a prefetchable stream (B[A[i]]), the access unit issues the
+        // access hide_ticks early; pointer-chasing recurrences get no
+        // run-ahead.
+        const sim::Tick visible = lat > hide_ticks ? lat - hide_ticks : 0;
+        return start + visible;
+    }
 
   private:
     int _cluster;

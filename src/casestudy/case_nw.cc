@@ -242,10 +242,14 @@ runNwBlockedNest(const NwData &d, bool staged, const char *label)
     const int c_host = hier.mesh().hostNode();
 
     auto port = [&hier](int cluster) {
-        return [&hier, cluster](mem::Addr ad, std::uint32_t s, bool w,
-                                sim::Tick tk) {
-            return hier.accelAccess(ad, s, w, cluster, tk).latency;
-        };
+        return accel::MemPort(
+            [](void *ctx, mem::Addr ad, std::uint32_t s, bool w,
+               sim::Tick tk) {
+                return static_cast<mem::Cache *>(ctx)
+                    ->access(ad, s, w, tk)
+                    .latency;
+            },
+            &hier.acp(cluster));
     };
 
     // The F stream's lead tap walks stores in DP order; the store at

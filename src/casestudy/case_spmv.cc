@@ -423,10 +423,14 @@ runBlockedNest(const TiledCsr &csr, bool stage_x, const char *label)
     const int c_vals = hier.l3().clusterOf(a.vals.base);
 
     auto port = [&hier](int cluster) {
-        return [&hier, cluster](mem::Addr ad, std::uint32_t s, bool w,
-                                sim::Tick tk) {
-            return hier.accelAccess(ad, s, w, cluster, tk).latency;
-        };
+        return accel::MemPort(
+            [](void *ctx, mem::Addr ad, std::uint32_t s, bool w,
+               sim::Tick tk) {
+                return static_cast<mem::Cache *>(ctx)
+                    ->access(ad, s, w, tk)
+                    .latency;
+            },
+            &hier.acp(cluster));
     };
 
     accel::StreamParams rp;

@@ -26,27 +26,20 @@ componentName(Component c)
 
 Accountant::Accountant(const EnergyParams &params) : _params(params)
 {
-}
-
-void
-Accountant::addEvents(Component c, double n)
-{
-    double per = 0.0;
-    switch (c) {
-      case Component::OoOCore: per = _params.oooPerInstPj; break;
-      case Component::IOCore: per = _params.ioPerInstPj; break;
-      case Component::Cgra: per = _params.cgraPerOpPj; break;
-      case Component::L1: per = _params.l1AccessPj; break;
-      case Component::L2: per = _params.l2AccessPj; break;
-      case Component::L3: per = _params.l3AccessPj; break;
-      case Component::Dram: per = _params.dramLinePj; break;
-      case Component::Buffer: per = _params.bufferAccessPj; break;
-      case Component::Noc: per = _params.nocHopFlitPj; break;
-      case Component::Mmio: per = _params.mmioPj; break;
-      case Component::Acp: per = _params.acpAccessPj; break;
-      default: panic("bad energy component %d", static_cast<int>(c));
-    }
-    add(c, per * n);
+    const auto idx = [](Component c) {
+        return static_cast<std::size_t>(c);
+    };
+    _perEvent[idx(Component::OoOCore)] = _params.oooPerInstPj;
+    _perEvent[idx(Component::IOCore)] = _params.ioPerInstPj;
+    _perEvent[idx(Component::Cgra)] = _params.cgraPerOpPj;
+    _perEvent[idx(Component::L1)] = _params.l1AccessPj;
+    _perEvent[idx(Component::L2)] = _params.l2AccessPj;
+    _perEvent[idx(Component::L3)] = _params.l3AccessPj;
+    _perEvent[idx(Component::Dram)] = _params.dramLinePj;
+    _perEvent[idx(Component::Buffer)] = _params.bufferAccessPj;
+    _perEvent[idx(Component::Noc)] = _params.nocHopFlitPj;
+    _perEvent[idx(Component::Mmio)] = _params.mmioPj;
+    _perEvent[idx(Component::Acp)] = _params.acpAccessPj;
 }
 
 double

@@ -79,8 +79,17 @@ class Accountant
         _perComponent[static_cast<std::size_t>(c)] += pj;
     }
 
-    /** Charge n events at the default per-event cost of @p c. */
-    void addEvents(Component c, double n);
+    /**
+     * Charge n events at the default per-event cost of @p c. Hot on
+     * the simulation critical path (one call per modeled instruction
+     * and cache access), so the per-event costs are pre-resolved into
+     * a table at construction and the charge stays inline.
+     */
+    void
+    addEvents(Component c, double n)
+    {
+        add(c, _perEvent[static_cast<std::size_t>(c)] * n);
+    }
 
     /** Energy so far for one component, in picojoules. */
     double
@@ -102,6 +111,8 @@ class Accountant
     EnergyParams _params;
     std::array<double, static_cast<std::size_t>(Component::NumComponents)>
         _perComponent{};
+    std::array<double, static_cast<std::size_t>(Component::NumComponents)>
+        _perEvent{};
 };
 
 } // namespace distda::energy

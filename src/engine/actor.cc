@@ -1,8 +1,8 @@
 #include "src/engine/actor.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <set>
 
 #include "src/sim/logging.hh"
 #include "src/sim/trace.hh"
@@ -14,6 +14,24 @@ using compiler::MicroInst;
 using compiler::MicroKind;
 using compiler::OpCode;
 using compiler::Word;
+
+namespace
+{
+std::atomic<bool> predecodeEnabledFlag{true};
+const Word zeroWord{};
+} // namespace
+
+void
+setPredecodeEnabled(bool enabled)
+{
+    predecodeEnabledFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+predecodeEnabled()
+{
+    return predecodeEnabledFlag.load(std::memory_order_relaxed);
+}
 
 PartitionActor::PartitionActor(
     const Config &config, std::vector<AccessorRuntime> accessors,
@@ -93,6 +111,105 @@ PartitionActor::PartitionActor(
                           static_cast<sim::Tick>(
                               std::max(config.issueWidth, 1))
                     : 0;
+
+    _isCgra = config.kind == ActorKind::Cgra;
+    // Same products the interpreter computes per instruction
+    // (scale * 1.0 and scale * 0.4), hoisted so the energy charge
+    // stays bit-identical between the two paths.
+    _fullInstWeight = config.instEnergyScale;
+    _portInstWeight = config.instEnergyScale * 0.4;
+    _ivPtr = prog.ivReg != compiler::noReg ? &_regs[prog.ivReg]
+                                           : nullptr;
+    if (predecodeEnabled()) {
+        _exec.reserve(prog.insts.size());
+        for (const MicroInst &inst : prog.insts)
+            _exec.push_back(predecode(inst));
+    }
+}
+
+PartitionActor::ExecOp
+PartitionActor::predecode(const MicroInst &inst)
+{
+    // Register pointers are stable: _regs is sized once in the
+    // constructor and never reallocates.
+    const auto dst_ptr = [this](std::uint16_t r) -> Word * {
+        return r != compiler::noReg ? &_regs[r] : &_scratch;
+    };
+    const auto src_ptr = [this](std::uint16_t r) -> const Word * {
+        return r != compiler::noReg ? &_regs[r] : &zeroWord;
+    };
+    const auto hoist_accessor = [this](ExecOp &op, std::int32_t slot) {
+        const AccessorRuntime &ar =
+            _accessors[static_cast<std::size_t>(slot)];
+        op.stream = ar.stream;
+        op.tapDistance = ar.tapDistance;
+        op.baseElemOffset = ar.baseElemOffset;
+        op.arrayBase = ar.array.base;
+        op.arrayElemBytes = ar.array.elemBytes;
+        op.arrayCount = ar.array.count;
+        // Unwired accessors (construction-only actors, e.g. in the
+        // verify tests) have no def; the interpreter would only touch
+        // it at execution time, so construction must tolerate that.
+        if (ar.def != nullptr) {
+            op.ivCoeff = ar.def->affine.ivCoeff;
+            op.elemBytes = ar.def->elemBytes;
+            op.elemIsFloat = ar.def->elemIsFloat;
+        }
+    };
+
+    ExecOp op;
+    op.kind = inst.kind;
+    switch (inst.kind) {
+      case MicroKind::Alu:
+        op.op = inst.op;
+        op.dst = dst_ptr(inst.dst);
+        op.a = src_ptr(inst.a);
+        op.b = src_ptr(inst.b);
+        op.c = src_ptr(inst.c);
+        break;
+      case MicroKind::LoadStream:
+        hoist_accessor(op, inst.slot);
+        op.dst = dst_ptr(inst.dst);
+        break;
+      case MicroKind::StoreStream:
+        hoist_accessor(op, inst.slot);
+        op.a = src_ptr(inst.a);
+        op.pred = inst.c != compiler::noReg ? &_regs[inst.c] : nullptr;
+        break;
+      case MicroKind::LoadIdx:
+        hoist_accessor(op, inst.slot);
+        op.dst = dst_ptr(inst.dst);
+        op.a = src_ptr(inst.a);
+        break;
+      case MicroKind::StoreIdx:
+        hoist_accessor(op, inst.slot);
+        op.a = src_ptr(inst.a);
+        op.b = src_ptr(inst.b);
+        op.pred = inst.c != compiler::noReg ? &_regs[inst.c] : nullptr;
+        break;
+      case MicroKind::Consume:
+        op.ch = _ins[static_cast<std::size_t>(inst.slot)];
+        op.dst = dst_ptr(inst.dst);
+        break;
+      case MicroKind::Produce:
+        op.ch = _outs[static_cast<std::size_t>(inst.slot)];
+        op.a = src_ptr(inst.a);
+        op.chCross =
+            op.ch != nullptr &&
+            op.ch->srcCluster() != op.ch->dstCluster();
+        break;
+      case MicroKind::CarryWrite: {
+          const auto &cs = _config.part->program
+                               .carries[static_cast<std::size_t>(
+                                   inst.slot)];
+          op.dst = dst_ptr(cs.reg);
+          op.a = src_ptr(inst.a);
+          break;
+      }
+      default:
+        panic("bad microcode kind %d", static_cast<int>(inst.kind));
+    }
+    return op;
 }
 
 Word
@@ -101,8 +218,14 @@ PartitionActor::evalAlu(const MicroInst &inst) const
     const Word a = inst.a != compiler::noReg ? _regs[inst.a] : Word{};
     const Word b = inst.b != compiler::noReg ? _regs[inst.b] : Word{};
     const Word c = inst.c != compiler::noReg ? _regs[inst.c] : Word{};
+    return evalAluOp(inst.op, a, b, c);
+}
+
+Word
+PartitionActor::evalAluOp(OpCode op, Word a, Word b, Word c)
+{
     Word r{};
-    switch (inst.op) {
+    switch (op) {
       case OpCode::IAdd: r.i = a.i + b.i; break;
       case OpCode::ISub: r.i = a.i - b.i; break;
       case OpCode::IMul: r.i = a.i * b.i; break;
@@ -143,7 +266,7 @@ PartitionActor::evalAlu(const MicroInst &inst) const
       case OpCode::F2I: r.i = static_cast<std::int64_t>(a.f); break;
       case OpCode::Mov: r = a; break;
       default:
-        panic("bad ALU opcode %d", static_cast<int>(inst.op));
+        panic("bad ALU opcode %d", static_cast<int>(op));
     }
     return r;
 }
@@ -316,10 +439,224 @@ PartitionActor::execInst(const MicroInst &inst)
 }
 
 ActorStatus
+PartitionActor::runPredecoded(std::int64_t max_iters)
+{
+    const ExecOp *const ops = _exec.data();
+    const std::size_t nops = _exec.size();
+    std::int64_t done = 0;
+
+    // Slice-batched counters. Counts are integers, so one batched add
+    // equals the interpreter's per-instruction adds exactly; the same
+    // holds for Buffer energy (integer count x per-event cost). The
+    // compute-component charge stays per-instruction because its port
+    // ops carry an inexact 0.4 weight and batching would change the
+    // FP summation order (see DESIGN.md).
+    double insts = 0.0, mem_ops = 0.0, buf_events = 0.0;
+    const auto flush = [&] {
+        _insts += insts;
+        _memOps += mem_ops;
+        if (_acct && buf_events != 0.0)
+            _acct->addEvents(energy::Component::Buffer, buf_events);
+    };
+
+    while (_iter < _config.trip) {
+        if (_pc == 0) {
+            if (done >= max_iters) {
+                flush();
+                return ActorStatus::Running;
+            }
+            if (_isCgra) {
+                // Initiation-interval pacing: one new iteration every
+                // II fabric cycles once the pipeline is primed.
+                const sim::Tick init =
+                    _lastInit + static_cast<sim::Tick>(_config.ii) *
+                                    _config.cycleTick;
+                if (_iter > 0)
+                    _now = std::max(_now, init);
+                _lastInit = _now;
+            }
+            if (_ivPtr)
+                _ivPtr->i = _iter;
+        }
+        while (_pc < nops) {
+            const ExecOp &op = ops[_pc];
+            bool port_op = false;
+            switch (op.kind) {
+              case MicroKind::Alu: {
+                  *op.dst = evalAluOp(op.op, *op.a, *op.b, *op.c);
+                  _now += _instCost;
+                  break;
+              }
+              case MicroKind::LoadStream: {
+                  const std::int64_t off =
+                      op.baseElemOffset + op.ivCoeff * _iter;
+                  DISTDA_ASSERT(off >= 0 &&
+                                    static_cast<std::uint64_t>(off) <
+                                        op.arrayCount,
+                                "stream load offset %lld out of bounds",
+                                static_cast<long long>(off));
+                  *op.dst = _backend->load(
+                      op.arrayBase + static_cast<std::uint64_t>(off) *
+                                         op.arrayElemBytes,
+                      op.elemBytes, op.elemIsFloat);
+                  const sim::Tick ready =
+                      op.stream->readAt(_iter, _now, op.tapDistance);
+                  _stalls.streamWait += ready - _now;
+                  _now = ready + _instCost;
+                  mem_ops += 1.0;
+                  break;
+              }
+              case MicroKind::StoreStream: {
+                  if (!op.pred || op.pred->i != 0) {
+                      const std::int64_t off =
+                          op.baseElemOffset + op.ivCoeff * _iter;
+                      DISTDA_ASSERT(
+                          off >= 0 && static_cast<std::uint64_t>(off) <
+                                          op.arrayCount,
+                          "stream store offset %lld out of bounds",
+                          static_cast<long long>(off));
+                      _backend->store(
+                          op.arrayBase +
+                              static_cast<std::uint64_t>(off) *
+                                  op.arrayElemBytes,
+                          *op.a, op.elemBytes, op.elemIsFloat);
+                      _now = op.stream->writeAt(_iter, _now,
+                                                op.tapDistance) +
+                             _instCost;
+                  } else {
+                      _now += _instCost;
+                  }
+                  mem_ops += 1.0;
+                  break;
+              }
+              case MicroKind::LoadIdx: {
+                  const std::int64_t off = op.a->i;
+                  DISTDA_ASSERT(off >= 0 &&
+                                    static_cast<std::uint64_t>(off) <
+                                        op.arrayCount,
+                                "indirect load offset %lld out of "
+                                "bounds",
+                                static_cast<long long>(off));
+                  const mem::Addr addr =
+                      op.arrayBase + static_cast<std::uint64_t>(off) *
+                                         op.arrayElemBytes;
+                  *op.dst = _backend->load(addr, op.elemBytes,
+                                           op.elemIsFloat);
+                  const sim::Tick done_t = _random->access(
+                      addr, op.elemBytes, false, _now,
+                      _config.hideTicks);
+                  _stalls.indirectWait += done_t - _now;
+                  _now = done_t;
+                  mem_ops += 1.0;
+                  break;
+              }
+              case MicroKind::StoreIdx: {
+                  if (!op.pred || op.pred->i != 0) {
+                      const std::int64_t off = op.a->i;
+                      DISTDA_ASSERT(
+                          off >= 0 && static_cast<std::uint64_t>(off) <
+                                          op.arrayCount,
+                          "indirect store offset %lld out of bounds",
+                          static_cast<long long>(off));
+                      const mem::Addr addr =
+                          op.arrayBase +
+                          static_cast<std::uint64_t>(off) *
+                              op.arrayElemBytes;
+                      _backend->store(addr, *op.b, op.elemBytes,
+                                      op.elemIsFloat);
+                      _now = _random->access(addr, op.elemBytes, true,
+                                             _now, 0);
+                  } else {
+                      _now += _instCost;
+                  }
+                  mem_ops += 1.0;
+                  break;
+              }
+              case MicroKind::Consume: {
+                  Channel *ch = op.ch;
+                  if (ch->empty()) {
+                      if (ch->drained())
+                          panic("consume on drained channel "
+                                "(partition %d)",
+                                _config.part->id);
+                      flush();
+                      return ActorStatus::Blocked;
+                  }
+                  const ChannelItem &item = ch->front();
+                  *op.dst = item.value;
+                  if (item.readyAt > _now)
+                      _stalls.channelWait += item.readyAt - _now;
+                  _now = std::max(_now, item.readyAt) + _instCost;
+                  ch->pop();
+                  _stats->intraBytes += ch->elemBytes();
+                  _stats->bufferAccesses += 1.0;
+                  buf_events += 1.0;
+                  port_op = true;
+                  break;
+              }
+              case MicroKind::Produce: {
+                  Channel *ch = op.ch;
+                  if (ch->full()) {
+                      flush();
+                      return ActorStatus::Blocked;
+                  }
+                  sim::Tick arrive = _now;
+                  if (op.chCross) {
+                      auto xfer = _mesh->transfer(
+                          ch->srcCluster(), ch->dstCluster(),
+                          ch->elemBytes(),
+                          ch->isControl() ? noc::TrafficClass::AccCtrl
+                                          : noc::TrafficClass::AccData,
+                          _now);
+                      arrive = _now + xfer.latency;
+                  }
+                  ch->push(*op.a, arrive);
+                  _stats->aaBytes += ch->elemBytes();
+                  _stats->bufferAccesses += 1.0;
+                  buf_events += 1.0;
+                  port_op = true;
+                  _now += _instCost;
+                  break;
+              }
+              case MicroKind::CarryWrite: {
+                  *op.dst = *op.a;
+                  _now += _instCost;
+                  break;
+              }
+              default:
+                panic("bad microcode kind %d",
+                      static_cast<int>(op.kind));
+            }
+            insts += 1.0;
+            if (_acct)
+                _acct->addEvents(_config.energyComp,
+                                 port_op ? _portInstWeight
+                                         : _fullInstWeight);
+            ++_pc;
+        }
+        _pc = 0;
+        ++_iter;
+        ++done;
+        if (_isCgra && _iter == 1) {
+            // Pipeline fill of the spatial schedule.
+            _now += static_cast<sim::Tick>(_config.scheduleDepth) *
+                    _config.cycleTick;
+        }
+    }
+
+    flush();
+    finish();
+    return ActorStatus::Finished;
+}
+
+ActorStatus
 PartitionActor::run(std::int64_t max_iters)
 {
     if (_finished)
         return ActorStatus::Finished;
+
+    if (!_exec.empty())
+        return runPredecoded(max_iters);
 
     const auto &insts = _config.part->program.insts;
     const std::uint16_t iv_reg = _config.part->program.ivReg;
@@ -372,11 +709,22 @@ PartitionActor::finish()
                    _config.part->id, static_cast<long long>(_iter),
                    _insts);
     sim::Tick done = _now;
-    std::set<accel::StreamUnit *> flushed;
-    for (AccessorRuntime &ar : _accessors) {
-        if (ar.stream && ar.stream->params().hasStores &&
-            flushed.insert(ar.stream).second)
-            done = std::max(done, ar.stream->flush(_now));
+    // Flush each store stream once. Combined taps share a unit, so the
+    // accessor list can repeat streams; dedupe by scanning the earlier
+    // entries — the list is a handful of elements, no container needed.
+    for (std::size_t i = 0; i < _accessors.size(); ++i) {
+        accel::StreamUnit *stream = _accessors[i].stream;
+        if (!stream || !stream->params().hasStores)
+            continue;
+        bool first = true;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (_accessors[j].stream == stream) {
+                first = false;
+                break;
+            }
+        }
+        if (first)
+            done = std::max(done, stream->flush(_now));
     }
     for (Channel *ch : _outs)
         ch->close();

@@ -33,6 +33,16 @@ enum class ActorKind : std::uint8_t
 
 enum class ActorStatus : std::uint8_t { Running, Blocked, Finished };
 
+/**
+ * Globally enable/disable predecoded microcode execution (default on).
+ * Actors built while this is off interpret the raw MicroProgram the
+ * slow way; the interpreter-equivalence test uses that to check both
+ * paths produce identical stats on every workload. Thread-safe, read
+ * once per actor construction.
+ */
+void setPredecodeEnabled(bool enabled);
+bool predecodeEnabled();
+
 /** Runtime wiring of one accessor to its unit and bound array. */
 struct AccessorRuntime
 {
@@ -104,12 +114,51 @@ class PartitionActor
     const std::vector<compiler::CarrySlot> &carrySlots() const;
 
   private:
+    /**
+     * One predecoded instruction of the flat execution stream:
+     * register and slot indices resolved to raw pointers, and every
+     * per-instruction indirection the interpreter would chase
+     * (accessor def fields, array bounds, channel cluster topology,
+     * predication form) hoisted into the struct at construction.
+     */
+    struct ExecOp
+    {
+        compiler::MicroKind kind = compiler::MicroKind::Alu;
+        compiler::OpCode op = compiler::OpCode::Mov; ///< Alu only
+        bool elemIsFloat = false;
+        bool chCross = false; ///< channel spans clusters (Produce)
+        std::uint32_t elemBytes = 0;
+        compiler::Word *dst = nullptr;
+        const compiler::Word *a = nullptr;
+        const compiler::Word *b = nullptr;
+        const compiler::Word *c = nullptr;
+        const compiler::Word *pred = nullptr; ///< null = unconditional
+        accel::StreamUnit *stream = nullptr;
+        Channel *ch = nullptr;
+        std::int64_t tapDistance = 0;
+        std::int64_t ivCoeff = 0;
+        std::int64_t baseElemOffset = 0;
+        mem::Addr arrayBase = 0;
+        std::uint32_t arrayElemBytes = 8;
+        std::uint64_t arrayCount = 0;
+    };
+
     /** Execute one instruction; false means blocked (retry later). */
     bool execInst(const compiler::MicroInst &inst);
+
+    /** Resolve one MicroInst into its predecoded form. */
+    ExecOp predecode(const compiler::MicroInst &inst);
+
+    /** run() over the predecoded stream with slice-batched stats. */
+    ActorStatus runPredecoded(std::int64_t max_iters);
 
     void finish();
 
     compiler::Word evalAlu(const compiler::MicroInst &inst) const;
+
+    static compiler::Word evalAluOp(compiler::OpCode op,
+                                    compiler::Word a, compiler::Word b,
+                                    compiler::Word c);
 
     Config _config;
     std::vector<AccessorRuntime> _accessors;
@@ -122,6 +171,12 @@ class PartitionActor
     accel::AccessStats *_stats;
 
     std::vector<compiler::Word> _regs;
+    std::vector<ExecOp> _exec; ///< empty = interpret the raw program
+    compiler::Word *_ivPtr = nullptr; ///< induction register, if any
+    compiler::Word _scratch{};        ///< sink for noReg destinations
+    double _fullInstWeight = 1.0;     ///< energy events per full inst
+    double _portInstWeight = 0.4;     ///< energy events per port op
+    bool _isCgra = false;
     std::size_t _pc = 0;
     std::int64_t _iter = 0;
     sim::Tick _now = 0;

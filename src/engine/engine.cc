@@ -36,16 +36,20 @@ DataflowEngine::DataflowEngine(const OffloadPlan &plan,
         pp.latencyCycles = 1;
         pp.mshrs = 8;
         pp.component = energy::Component::Acp;
-        const int host = _hier->mesh().hostNode();
         _privateCache = std::make_unique<mem::Cache>(
-            pp, acct, [this, host](mem::Addr a, bool w, sim::Tick t) {
-                return _hier
-                    ->l3()
-                    .access(a, mem::lineBytes, w, host, t,
-                            mem::TrafficTag{noc::TrafficClass::AccCtrl,
-                                            noc::TrafficClass::AccData})
-                    .latency;
-            });
+            pp, acct,
+            mem::Cache::Downstream(
+                [](void *ctx, mem::Addr a, bool w, sim::Tick t) {
+                    auto *self = static_cast<DataflowEngine *>(ctx);
+                    return self->_hier->l3()
+                        .access(a, mem::lineBytes, w,
+                                self->_hier->mesh().hostNode(), t,
+                                mem::TrafficTag{
+                                    noc::TrafficClass::AccCtrl,
+                                    noc::TrafficClass::AccData})
+                        .latency;
+                },
+                this));
     }
 }
 
@@ -228,18 +232,19 @@ DataflowEngine::invoke(const std::vector<ArrayRef> &bindings,
             cd.bits / 8, cd.control, src, dst));
     }
 
-    // --- Memory port shared by units (ACP or Mono-CA private cache). ---
-    auto port_at = [this](int cluster) -> accel::MemPort {
-        if (_privateCache) {
-            return [this](mem::Addr a, std::uint32_t s, bool w,
-                          sim::Tick t) {
-                return _privateCache->access(a, s, w, t).latency;
-            };
-        }
-        return [this, cluster](mem::Addr a, std::uint32_t s, bool w,
-                               sim::Tick t) {
-            return _hier->accelAccess(a, s, w, cluster, t).latency;
+    // --- Memory port shared by units (ACP or Mono-CA private cache).
+    // Both routes end in a plain Cache::access, so a port is just the
+    // target cache plus one shared thunk. ---
+    constexpr accel::MemPort::Fn cache_port =
+        [](void *ctx, mem::Addr a, std::uint32_t s, bool w,
+           sim::Tick t) {
+            return static_cast<mem::Cache *>(ctx)->access(a, s, w, t)
+                .latency;
         };
+    auto port_at = [this](int cluster) -> accel::MemPort {
+        mem::Cache &target =
+            _privateCache ? *_privateCache : _hier->acp(cluster);
+        return accel::MemPort(cache_port, &target);
     };
 
     // --- Build actors. ---

@@ -138,11 +138,12 @@ HostExecutor::run(const std::vector<ArrayRef> &bindings,
     }
 
     sim::Tick now = start_tick;
+    std::vector<double> level_max(
+        static_cast<std::size_t>(_dep.loadChainDepth) + 1, 0.0);
     for (std::int64_t it = 0; it < trip; ++it) {
         double load_lat_sum = 0.0;
         double chain_lat = 0.0; // deepest dependent-load chain
-        std::vector<double> level_max(
-            static_cast<std::size_t>(_dep.loadChainDepth) + 1, 0.0);
+        std::fill(level_max.begin(), level_max.end(), 0.0);
 
         for (int id : _topo) {
             const Node &n = _kernel.node(id);

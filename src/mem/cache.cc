@@ -1,6 +1,7 @@
 #include "src/mem/cache.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "src/sim/logging.hh"
 
@@ -18,6 +19,8 @@ Cache::Cache(const CacheParams &params, energy::Accountant *acct,
       _clock(params.clockHz),
       _numSets(params.sizeBytes / lineBytes /
                static_cast<std::uint64_t>(params.assoc)),
+      _setMask((_numSets & (_numSets - 1)) == 0 ? _numSets - 1 : 0),
+      _tagLat(_clock.cyclesToTicks(params.latencyCycles)),
       _lines(_numSets * static_cast<std::size_t>(params.assoc)),
       _mshrFree(static_cast<std::size_t>(std::max(params.mshrs, 1)), 0),
       _strideTable(strideTableEntries)
@@ -39,9 +42,13 @@ Cache::setIndex(Addr line_addr) const
         // Fibonacci hashing: high product bits mix every line bit, so
         // page-interleaved banks use all their sets.
         const Addr h = line * 0x9e3779b97f4a7c15ULL;
-        return static_cast<std::size_t>(h >> 32) % _numSets;
+        const auto hi = static_cast<std::size_t>(h >> 32);
+        return _setMask ? hi & _setMask : hi % _numSets;
     }
-    return static_cast<std::size_t>(line) % _numSets;
+    // Power-of-two set counts (the common case) mask instead of
+    // dividing; identical index, no hardware divide per probe.
+    const auto l = static_cast<std::size_t>(line);
+    return _setMask ? l & _setMask : l % _numSets;
 }
 
 Cache::Line *
@@ -70,51 +77,72 @@ Cache::contains(Addr addr) const
 }
 
 CacheResult
-Cache::access(Addr addr, std::uint32_t size, bool write, sim::Tick now)
-{
-    const Addr first = lineAlign(addr);
-    const std::uint64_t nlines = linesCovering(addr, std::max(size, 1u));
-
-    CacheResult total = accessLine(first, write, now);
-    // Subsequent lines of a multi-line request are pipelined; they
-    // extend latency only past the first line's completion.
-    for (std::uint64_t i = 1; i < nlines; ++i) {
-        CacheResult r =
-            accessLine(first + i * lineBytes, write, now + total.latency);
-        total.latency += r.latency;
-        total.hit = total.hit && r.hit;
-    }
-    return total;
-}
-
-CacheResult
 Cache::accessLine(Addr line_addr, bool write, sim::Tick now)
 {
     _accesses += 1.0;
     if (_acct)
         _acct->addEvents(_params.component, 1.0);
 
-    const sim::Tick tag_lat = _clock.cyclesToTicks(_params.latencyCycles);
+    // MRU filter: skip the set walk when the last-hit line matches.
+    const Addr tag = lineNum(line_addr);
+    Line *line = nullptr;
+    Line *victim = nullptr;
+    if (_mru && _mru->valid && _mru->tag == tag) {
+        line = _mru;
+    } else {
+        // One walk serves both lookups: find the tag, and remember the
+        // victim (first invalid way, else first-encountered LRU
+        // minimum) in case this is a miss.
+        Line *const set = &_lines[setIndex(line_addr) *
+                                  static_cast<std::size_t>(_params.assoc)];
+        bool invalid_victim = false;
+        for (int w = 0; w < _params.assoc; ++w) {
+            Line &l = set[w];
+            if (l.valid && l.tag == tag) {
+                line = &l;
+                break;
+            }
+            if (!l.valid) {
+                if (!invalid_victim) {
+                    victim = &l;
+                    invalid_victim = true;
+                }
+            } else if (!invalid_victim &&
+                       (!victim || l.lru < victim->lru)) {
+                victim = &l;
+            }
+        }
+    }
 
-    if (Line *line = findLine(line_addr)) {
+    if (line) {
         _hits += 1.0;
+        if (line->prefetched) {
+            _prefetchHits += 1.0;
+            line->prefetched = false;
+        }
+        _mru = line;
         line->lru = ++_lruTick;
         if (write)
             line->dirty = _params.writeback;
         if (!write && _params.stridePrefetch)
             prefetch(line_addr, now);
-        return CacheResult{true, tag_lat};
+        return CacheResult{true, _tagLat};
     }
 
     _misses += 1.0;
 
-    // Occupy the earliest-free MSHR; queue when all busy.
-    auto slot = std::min_element(_mshrFree.begin(), _mshrFree.end());
-    const sim::Tick start = std::max(now + tag_lat, *slot);
-    const sim::Tick fill_lat = fill(line_addr, write && _params.writeback,
-                                    start, true);
+    // Occupy the earliest-free MSHR; queue when all busy. _mshrFree is
+    // a min-heap on completion time, so the earliest slot is the root
+    // rather than a linear scan over every slot.
+    std::pop_heap(_mshrFree.begin(), _mshrFree.end(),
+                  std::greater<sim::Tick>());
+    const sim::Tick start = std::max(now + _tagLat, _mshrFree.back());
+    const sim::Tick fill_lat = fillVictim(
+        victim, line_addr, write && _params.writeback, start, true);
     const sim::Tick done = start + fill_lat;
-    *slot = done;
+    _mshrFree.back() = done;
+    std::push_heap(_mshrFree.begin(), _mshrFree.end(),
+                   std::greater<sim::Tick>());
 
     if (!write && _params.stridePrefetch)
         prefetch(line_addr, now);
@@ -125,7 +153,6 @@ Cache::accessLine(Addr line_addr, bool write, sim::Tick now)
 sim::Tick
 Cache::fill(Addr line_addr, bool dirty, sim::Tick now, bool count_demand)
 {
-    (void)count_demand;
     const std::size_t set = setIndex(line_addr);
 
     // Victim selection: invalid way first, then LRU.
@@ -140,6 +167,13 @@ Cache::fill(Addr line_addr, bool dirty, sim::Tick now, bool count_demand)
             victim = &line;
     }
 
+    return fillVictim(victim, line_addr, dirty, now, count_demand);
+}
+
+sim::Tick
+Cache::fillVictim(Line *victim, Addr line_addr, bool dirty, sim::Tick now,
+                  bool count_demand)
+{
     if (victim->valid && victim->dirty) {
         _writebacks += 1.0;
         // Writeback is off the critical path; latency discarded.
@@ -151,7 +185,10 @@ Cache::fill(Addr line_addr, bool dirty, sim::Tick now, bool count_demand)
     victim->tag = lineNum(line_addr);
     victim->valid = true;
     victim->dirty = dirty;
+    victim->prefetched = !count_demand;
     victim->lru = ++_lruTick;
+    if (count_demand)
+        _mru = victim;
 
     return miss_lat;
 }
@@ -223,6 +260,7 @@ Cache::exportStats(stats::Group &group) const
     group.add(p + "misses") = _misses;
     group.add(p + "writebacks") = _writebacks;
     group.add(p + "prefetches") = _prefetches;
+    group.add(p + "prefetch_hits") = _prefetchHits;
 }
 
 void
@@ -233,6 +271,7 @@ Cache::reset()
     std::fill(_mshrFree.begin(), _mshrFree.end(), 0);
     for (StrideEntry &e : _strideTable)
         e = StrideEntry{};
+    _mru = nullptr;
     _lruTick = 0;
     _accesses = _hits = _misses = _writebacks = 0;
     _prefetches = _prefetchHits = 0;

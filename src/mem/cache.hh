@@ -14,8 +14,8 @@
 #ifndef DISTDA_MEM_CACHE_HH
 #define DISTDA_MEM_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,9 +67,45 @@ class Cache
      * Downstream line-fill handler: (line_addr, is_write, now) ->
      * latency. Writebacks call it with is_write=true; the returned
      * latency of writebacks is not added to the critical path.
+     *
+     * A non-owning function-pointer + context view rather than a
+     * std::function: every miss and writeback goes through it, and the
+     * type-erased call cost was measurable in sweep profiles. The
+     * context must outlive the cache; downstreams point at hierarchy
+     * components owned alongside the cache itself.
      */
-    using Downstream =
-        std::function<sim::Tick(Addr, bool, sim::Tick)>;
+    class Downstream
+    {
+      public:
+        using Fn = sim::Tick (*)(void *, Addr, bool, sim::Tick);
+
+        Downstream() = default;
+        Downstream(Fn fn, void *ctx) : _fn(fn), _ctx(ctx) {}
+
+        /** Adapt any callable lvalue; @p f must outlive the cache. */
+        template <typename F>
+        static Downstream
+        of(F &f)
+        {
+            return Downstream(
+                [](void *ctx, Addr a, bool w, sim::Tick t) {
+                    return (*static_cast<F *>(ctx))(a, w, t);
+                },
+                &f);
+        }
+
+        sim::Tick
+        operator()(Addr a, bool w, sim::Tick t) const
+        {
+            return _fn(_ctx, a, w, t);
+        }
+
+        explicit operator bool() const { return _fn != nullptr; }
+
+      private:
+        Fn _fn = nullptr;
+        void *_ctx = nullptr;
+    };
 
     Cache(const CacheParams &params, energy::Accountant *acct,
           Downstream downstream);
@@ -79,10 +115,27 @@ class Cache
     /**
      * Access @p size bytes at @p addr. Multi-line requests walk each
      * covered line; the reported latency is the first-word latency plus
-     * line-pipelined continuation.
+     * line-pipelined continuation. Inline so the common single-line
+     * request is one direct call into accessLine.
      */
-    CacheResult access(Addr addr, std::uint32_t size, bool write,
-                       sim::Tick now);
+    CacheResult
+    access(Addr addr, std::uint32_t size, bool write, sim::Tick now)
+    {
+        const Addr first = lineAlign(addr);
+        const std::uint64_t nlines =
+            linesCovering(addr, std::max(size, 1u));
+
+        CacheResult total = accessLine(first, write, now);
+        // Subsequent lines of a multi-line request are pipelined; they
+        // extend latency only past the first line's completion.
+        for (std::uint64_t i = 1; i < nlines; ++i) {
+            CacheResult r = accessLine(first + i * lineBytes, write,
+                                       now + total.latency);
+            total.latency += r.latency;
+            total.hit = total.hit && r.hit;
+        }
+        return total;
+    }
 
     /** True when the line containing @p addr is resident. */
     bool contains(Addr addr) const;
@@ -95,6 +148,8 @@ class Cache
     double misses() const { return _misses; }
     double writebacks() const { return _writebacks; }
     double prefetchesIssued() const { return _prefetches; }
+    /** Demand hits whose line was brought in by the prefetcher. */
+    double prefetchHits() const { return _prefetchHits; }
 
     void exportStats(stats::Group &group) const;
     void reset();
@@ -105,6 +160,8 @@ class Cache
         Addr tag = 0;
         bool valid = false;
         bool dirty = false;
+        bool prefetched = false; ///< filled by the prefetcher, no
+                                 ///< demand hit yet
         std::uint64_t lru = 0;
     };
 
@@ -114,6 +171,10 @@ class Cache
     /** Fill @p line_addr, evicting as needed; returns fill latency. */
     sim::Tick fill(Addr line_addr, bool dirty, sim::Tick now,
                    bool count_demand);
+
+    /** Fill into a pre-selected victim way (no victim scan). */
+    sim::Tick fillVictim(Line *victim, Addr line_addr, bool dirty,
+                         sim::Tick now, bool count_demand);
 
     std::size_t setIndex(Addr line_addr) const;
     Line *findLine(Addr line_addr);
@@ -127,9 +188,20 @@ class Cache
     Downstream _downstream;
     sim::ClockDomain _clock;
     std::size_t _numSets;
+    /** _numSets - 1 when the set count is a power of two, else 0. */
+    std::size_t _setMask;
+    sim::Tick _tagLat; ///< tag/hit latency in ticks, fixed per cache
     std::vector<Line> _lines;          ///< numSets * assoc entries
-    std::vector<sim::Tick> _mshrFree;  ///< per-MSHR next-free tick
+    std::vector<sim::Tick> _mshrFree;  ///< next-free ticks, min-heap
     std::uint64_t _lruTick = 0;
+    /**
+     * One-entry MRU filter in front of the tag walk: sequential
+     * streams hit the same line repeatedly, so most lookups resolve
+     * with one compare. Tags are full line numbers (unique across the
+     * cache) and _lines never reallocates, so a stale pointer
+     * self-invalidates via the valid+tag check.
+     */
+    Line *_mru = nullptr;
 
     struct StrideEntry
     {

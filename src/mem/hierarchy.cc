@@ -32,6 +32,18 @@ HierarchyParams::HierarchyParams()
     acp.component = energy::Component::Acp;
 }
 
+sim::Tick
+Hierarchy::L3Down::operator()(Addr a, bool w, sim::Tick t) const
+{
+    return l3->access(a, lineBytes, w, node, t, tag).latency;
+}
+
+sim::Tick
+Hierarchy::CacheDown::operator()(Addr a, bool w, sim::Tick t) const
+{
+    return next->access(a, lineBytes, w, t).latency;
+}
+
 Hierarchy::Hierarchy(const HierarchyParams &params,
                      energy::Accountant *acct)
 {
@@ -40,29 +52,26 @@ Hierarchy::Hierarchy(const HierarchyParams &params,
     _l3 = std::make_unique<NucaL3>(params.l3, _mesh.get(), _dram.get(),
                                    acct);
 
-    const int host = _mesh->hostNode();
-    _l2 = std::make_unique<Cache>(
-        params.l2, acct, [this, host](Addr a, bool w, sim::Tick t) {
-            return _l3->access(a, lineBytes, w, host, t,
-                               TrafficTag{noc::TrafficClass::Ctrl,
-                                          noc::TrafficClass::Data})
-                .latency;
-        });
-    _l1 = std::make_unique<Cache>(
-        params.l1, acct, [this](Addr a, bool w, sim::Tick t) {
-            return _l2->access(a, lineBytes, w, t).latency;
-        });
+    _l2Down = L3Down{_l3.get(), _mesh->hostNode(),
+                     TrafficTag{noc::TrafficClass::Ctrl,
+                                noc::TrafficClass::Data}};
+    _l2 = std::make_unique<Cache>(params.l2, acct,
+                                  Cache::Downstream::of(_l2Down));
+    _l1Down = CacheDown{_l2.get()};
+    _l1 = std::make_unique<Cache>(params.l1, acct,
+                                  Cache::Downstream::of(_l1Down));
 
+    // Reserve first: the caches hold raw pointers into _acpDowns.
+    _acpDowns.reserve(static_cast<std::size_t>(params.l3.clusters));
     for (int c = 0; c < params.l3.clusters; ++c) {
+        _acpDowns.push_back(
+            L3Down{_l3.get(), c,
+                   TrafficTag{noc::TrafficClass::AccCtrl,
+                              noc::TrafficClass::AccData}});
         CacheParams ap = params.acp;
         ap.name = "acp" + std::to_string(c);
         _acps.push_back(std::make_unique<Cache>(
-            ap, acct, [this, c](Addr a, bool w, sim::Tick t) {
-                return _l3->access(a, lineBytes, w, c, t,
-                                   TrafficTag{noc::TrafficClass::AccCtrl,
-                                              noc::TrafficClass::AccData})
-                    .latency;
-            }));
+            ap, acct, Cache::Downstream::of(_acpDowns.back())));
     }
 }
 

@@ -67,9 +67,30 @@ class Hierarchy
     void reset();
 
   private:
+    /**
+     * Stable storage for the caches' non-owning Downstream views: one
+     * adapter per edge in the hierarchy graph, owned alongside the
+     * caches that point at it.
+     */
+    struct L3Down
+    {
+        NucaL3 *l3 = nullptr;
+        int node = 0;
+        TrafficTag tag{};
+        sim::Tick operator()(Addr a, bool w, sim::Tick t) const;
+    };
+    struct CacheDown
+    {
+        Cache *next = nullptr;
+        sim::Tick operator()(Addr a, bool w, sim::Tick t) const;
+    };
+
     std::unique_ptr<noc::Mesh> _mesh;
     std::unique_ptr<Dram> _dram;
     std::unique_ptr<NucaL3> _l3;
+    L3Down _l2Down;
+    CacheDown _l1Down;
+    std::vector<L3Down> _acpDowns;
     std::unique_ptr<Cache> _l2;
     std::unique_ptr<Cache> _l1;
     std::vector<std::unique_ptr<Cache>> _acps;

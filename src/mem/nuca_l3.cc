@@ -26,18 +26,29 @@ NucaL3::NucaL3(const NucaParams &params, noc::Mesh *mesh, Dram *dram,
         bp.component = energy::Component::L3;
         _banks.push_back(std::make_unique<Cache>(
             bp, acct,
-            [this](Addr a, bool w, sim::Tick t) {
-                return _dram->access(a, w, t);
-            }));
+            Cache::Downstream(
+                [](void *ctx, Addr a, bool w, sim::Tick t) {
+                    return static_cast<Dram *>(ctx)->access(a, w, t);
+                },
+                _dram)));
     }
 }
 
 int
 NucaL3::clusterOf(Addr addr) const
 {
-    for (const AffinityRange &r : _affinity) {
-        if (addr >= r.base && addr < r.base + r.bytes)
-            return r.cluster;
+    // _affinity is sorted by base and ranges are disjoint (each byte of
+    // the slab arena is handed out once), so at most one range can hold
+    // addr: the last one starting at or below it.
+    if (!_affinity.empty()) {
+        const auto it = std::upper_bound(
+            _affinity.begin(), _affinity.end(), addr,
+            [](Addr a, const AffinityRange &r) { return a < r.base; });
+        if (it != _affinity.begin()) {
+            const AffinityRange &r = *(it - 1);
+            if (addr - r.base < r.bytes)
+                return r.cluster;
+        }
     }
     return static_cast<int>((addr / _params.pageBytes) %
                             static_cast<std::uint64_t>(_params.clusters));
@@ -48,7 +59,15 @@ NucaL3::setAffinity(Addr base, std::uint64_t bytes, int cluster)
 {
     DISTDA_ASSERT(cluster >= 0 && cluster < _params.clusters,
                   "affinity cluster %d", cluster);
-    _affinity.push_back(AffinityRange{base, bytes, cluster});
+    const auto it = std::upper_bound(
+        _affinity.begin(), _affinity.end(), base,
+        [](Addr b, const AffinityRange &r) { return b < r.base; });
+    DISTDA_ASSERT((it == _affinity.end() || base + bytes <= it->base) &&
+                      (it == _affinity.begin() ||
+                       (it - 1)->base + (it - 1)->bytes <= base),
+                  "overlapping affinity range at %llu",
+                  static_cast<unsigned long long>(base));
+    _affinity.insert(it, AffinityRange{base, bytes, cluster});
 }
 
 CacheResult

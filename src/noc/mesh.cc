@@ -31,58 +31,6 @@ Mesh::Mesh(const MeshParams &params, energy::Accountant *acct)
         fatal("host node %d outside mesh", params.hostNode);
 }
 
-int
-Mesh::hops(int src, int dst) const
-{
-    DISTDA_ASSERT(src >= 0 && src < numNodes(), "src node %d", src);
-    DISTDA_ASSERT(dst >= 0 && dst < numNodes(), "dst node %d", dst);
-    return std::abs(nodeX(src) - nodeX(dst)) +
-           std::abs(nodeY(src) - nodeY(dst));
-}
-
-TransferResult
-Mesh::transfer(int src, int dst, std::uint32_t bytes, TrafficClass cls,
-               sim::Tick now)
-{
-    const int nhops = hops(src, dst);
-    const auto idx = static_cast<std::size_t>(cls);
-    _bytes[idx] += bytes;
-    _packets[idx] += 1.0;
-
-    if (nhops == 0)
-        return TransferResult{0, 0};
-
-    // Serialization: the packet occupies each traversed link for
-    // ceil(bytes / linkBytes) NoC cycles.
-    const sim::Cycles ser_cycles =
-        (bytes + _params.linkBytes - 1) / _params.linkBytes;
-    const sim::Tick ser = _clock.cyclesToTicks(std::max<sim::Cycles>(
-        ser_cycles, 1));
-
-    // Light contention model: injection waits for the source and
-    // destination routers; traversal then occupies them.
-    sim::Tick start = std::max(
-        now, std::max(_routerBusyUntil[static_cast<std::size_t>(src)],
-                      _routerBusyUntil[static_cast<std::size_t>(dst)]));
-    const sim::Tick head_latency = _clock.cyclesToTicks(
-        static_cast<sim::Cycles>(nhops) * _params.hopCycles);
-    const sim::Tick done = start + head_latency + ser;
-
-    // Cut-through: a router is occupied only while the packet's flits
-    // stream through it; the head latency is pipeline delay.
-    _routerBusyUntil[static_cast<std::size_t>(src)] = start + ser;
-    _routerBusyUntil[static_cast<std::size_t>(dst)] = start + ser;
-
-    const double flits =
-        static_cast<double>((bytes + _params.flitBytes - 1) /
-                            _params.flitBytes);
-    _totalHopFlits += flits * nhops;
-    if (_acct)
-        _acct->addEvents(energy::Component::Noc, flits * nhops);
-
-    return TransferResult{done - now, nhops};
-}
-
 TransferResult
 Mesh::multicast(int src, const std::vector<int> &dsts, std::uint32_t bytes,
                 TrafficClass cls, sim::Tick now)

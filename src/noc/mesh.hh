@@ -16,11 +16,13 @@
 #ifndef DISTDA_NOC_MESH_HH
 #define DISTDA_NOC_MESH_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 
 #include "src/energy/energy_model.hh"
+#include "src/sim/logging.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/ticks.hh"
 
@@ -73,14 +75,66 @@ class Mesh
     int hostNode() const { return _params.hostNode; }
 
     /** XY-routing hop count between two nodes. */
-    int hops(int src, int dst) const;
+    int
+    hops(int src, int dst) const
+    {
+        DISTDA_ASSERT(src >= 0 && src < numNodes(), "src node %d", src);
+        DISTDA_ASSERT(dst >= 0 && dst < numNodes(), "dst node %d", dst);
+        const int dx = nodeX(src) - nodeX(dst);
+        const int dy = nodeY(src) - nodeY(dst);
+        return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+    }
 
     /**
      * Inject a transfer of @p bytes from @p src to @p dst at @p now.
-     * Charges bytes/energy and returns delivery latency.
+     * Charges bytes/energy and returns delivery latency. Inline: every
+     * cross-cluster element and cache line rides through here.
      */
-    TransferResult transfer(int src, int dst, std::uint32_t bytes,
-                            TrafficClass cls, sim::Tick now);
+    TransferResult
+    transfer(int src, int dst, std::uint32_t bytes, TrafficClass cls,
+             sim::Tick now)
+    {
+        const int nhops = hops(src, dst);
+        const auto idx = static_cast<std::size_t>(cls);
+        _bytes[idx] += bytes;
+        _packets[idx] += 1.0;
+
+        if (nhops == 0)
+            return TransferResult{0, 0};
+
+        // Serialization: the packet occupies each traversed link for
+        // ceil(bytes / linkBytes) NoC cycles.
+        const sim::Cycles ser_cycles =
+            (bytes + _params.linkBytes - 1) / _params.linkBytes;
+        const sim::Tick ser = _clock.cyclesToTicks(
+            std::max<sim::Cycles>(ser_cycles, 1));
+
+        // Light contention model: injection waits for the source and
+        // destination routers; traversal then occupies them.
+        sim::Tick &src_busy =
+            _routerBusyUntil[static_cast<std::size_t>(src)];
+        sim::Tick &dst_busy =
+            _routerBusyUntil[static_cast<std::size_t>(dst)];
+        const sim::Tick start =
+            std::max(now, std::max(src_busy, dst_busy));
+        const sim::Tick head_latency = _clock.cyclesToTicks(
+            static_cast<sim::Cycles>(nhops) * _params.hopCycles);
+        const sim::Tick done = start + head_latency + ser;
+
+        // Cut-through: a router is occupied only while the packet's
+        // flits stream through it; the head latency is pipeline delay.
+        src_busy = start + ser;
+        dst_busy = start + ser;
+
+        const double flits =
+            static_cast<double>((bytes + _params.flitBytes - 1) /
+                                _params.flitBytes);
+        _totalHopFlits += flits * nhops;
+        if (_acct)
+            _acct->addEvents(energy::Component::Noc, flits * nhops);
+
+        return TransferResult{done - now, nhops};
+    }
 
     /**
      * Multicast @p bytes from @p src to every node in @p dsts; the NoC

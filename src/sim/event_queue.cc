@@ -1,9 +1,17 @@
 #include "src/sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "src/sim/logging.hh"
 
 namespace distda::sim
 {
+
+namespace
+{
+/** Pre-sized so the first bursts of scheduling never reallocate. */
+constexpr std::size_t initialCapacity = 64;
+} // namespace
 
 void
 EventQueue::schedule(Tick when, Callback cb)
@@ -13,7 +21,10 @@ EventQueue::schedule(Tick when, Callback cb)
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_curTick));
     }
-    _events.push(Event{when, _nextSeq++, std::move(cb)});
+    if (_events.capacity() == 0)
+        _events.reserve(initialCapacity);
+    _events.push_back(Event{when, _nextSeq++, std::move(cb)});
+    std::push_heap(_events.begin(), _events.end(), Later{});
 }
 
 bool
@@ -21,10 +32,9 @@ EventQueue::step()
 {
     if (_events.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast as the
-    // element is popped immediately afterwards.
-    Event ev = std::move(const_cast<Event &>(_events.top()));
-    _events.pop();
+    std::pop_heap(_events.begin(), _events.end(), Later{});
+    Event ev = std::move(_events.back());
+    _events.pop_back();
     _curTick = ev.when;
     ev.cb();
     return true;
@@ -40,7 +50,7 @@ EventQueue::run()
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!_events.empty() && _events.top().when <= limit)
+    while (!_events.empty() && _events.front().when <= limit)
         step();
     if (_curTick < limit)
         _curTick = limit;
@@ -49,8 +59,7 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
-    while (!_events.empty())
-        _events.pop();
+    _events.clear();
     _curTick = 0;
     _nextSeq = 0;
 }

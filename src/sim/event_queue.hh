@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/sim/ticks.hh"
@@ -85,7 +84,13 @@ class EventQueue
 
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    /**
+     * Min-heap on (when, seq) via std::push_heap/std::pop_heap rather
+     * than std::priority_queue: top() on the adaptor is const, which
+     * forces a const_cast to move the callback out, and the adaptor
+     * hides the vector so capacity can't be reserved.
+     */
+    std::vector<Event> _events;
 };
 
 } // namespace distda::sim

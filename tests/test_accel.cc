@@ -24,14 +24,14 @@ struct PortLog
     std::vector<std::pair<mem::Addr, bool>> calls;
     sim::Tick latency = 10000;
 
-    accel::MemPort
-    fn()
+    sim::Tick
+    operator()(mem::Addr a, std::uint32_t, bool w, sim::Tick)
     {
-        return [this](mem::Addr a, std::uint32_t, bool w, sim::Tick) {
-            calls.push_back({a, w});
-            return latency;
-        };
+        calls.push_back({a, w});
+        return latency;
     }
+
+    accel::MemPort fn() { return accel::MemPort::of(*this); }
 
     double
     fetches() const
@@ -162,6 +162,48 @@ TEST(StreamUnit, PrefetchHidesLatencyInSteadyState)
         now = t + 16000;
     }
     EXPECT_EQ(stall, 0u);
+}
+
+TEST(StreamUnit, FastPathMatchesSlowPathStatsAndFetches)
+{
+    // Steady-state sequential reads take the precomputed-bounds fast
+    // path; interleaved rereads of already-consumed elements do too.
+    // Neither may change what reaches memory or the counters, relative
+    // to a unit driven only by the plain sequential scan.
+    PortLog fast_port, ref_port;
+    AccessStats fast_stats, ref_stats;
+    StreamUnit fast(denseLoad(256), fast_port.fn(), &sharedMesh(),
+                    &fast_stats);
+    StreamUnit ref(denseLoad(256), ref_port.fn(), &sharedMesh(),
+                   &ref_stats);
+
+    sim::Tick now = 0;
+    std::int64_t rereads = 0;
+    sim::Tick prev = 0;
+    for (std::int64_t k = 0; k < 256; ++k) {
+        now = fast.readAt(k, now, 0);
+        EXPECT_GE(now, prev); // ready times stay monotonic
+        prev = now;
+        if (k > 0 && k % 16 == 0) {
+            // In-window reread behind the lead: fast-path candidate.
+            now = fast.readAt(k, now, 4);
+            ++rereads;
+        }
+    }
+    sim::Tick ref_now = 0;
+    for (std::int64_t k = 0; k < 256; ++k)
+        ref_now = ref.readAt(k, ref_now, 0);
+
+    // Recently-read data is buffered: no fetch may be reissued.
+    EXPECT_DOUBLE_EQ(fast_port.fetches(), ref_port.fetches());
+    EXPECT_DOUBLE_EQ(fast_stats.daBytes, ref_stats.daBytes);
+    // Every read, fast or slow, counts buffer traffic.
+    EXPECT_DOUBLE_EQ(fast_stats.intraBytes,
+                     ref_stats.intraBytes +
+                         static_cast<double>(rereads) * 8.0);
+    EXPECT_DOUBLE_EQ(fast_stats.bufferAccesses,
+                     ref_stats.bufferAccesses +
+                         static_cast<double>(rereads));
 }
 
 TEST(StreamUnit, StoreOnlyWriteAllocatesWithoutFetch)

@@ -26,14 +26,14 @@ struct FakeDownstream
     std::vector<std::pair<Addr, bool>> calls;
     sim::Tick latency = 20000;
 
-    mem::Cache::Downstream
-    fn()
+    sim::Tick
+    operator()(Addr a, bool w, sim::Tick)
     {
-        return [this](Addr a, bool w, sim::Tick) {
-            calls.push_back({a, w});
-            return latency;
-        };
+        calls.push_back({a, w});
+        return latency;
     }
+
+    mem::Cache::Downstream fn() { return mem::Cache::Downstream::of(*this); }
 };
 
 mem::CacheParams
@@ -157,6 +157,54 @@ TEST(Cache, StridePrefetcherFetchesAhead)
     EXPECT_GT(cache.prefetchesIssued(), 0.0);
     // Lines ahead of the stream should now be resident.
     EXPECT_TRUE(cache.contains(7 * 64));
+}
+
+TEST(Cache, MruFilterSelfInvalidatesOnEviction)
+{
+    // Direct-mapped so a conflicting line reuses the exact Line slot
+    // the MRU filter points at: a stale filter entry must re-probe,
+    // never produce a false hit.
+    energy::Accountant acct;
+    FakeDownstream down;
+    mem::CacheParams p = smallCache();
+    p.assoc = 1; // 16 sets; lines 0 and 16 collide in set 0
+    mem::Cache cache(p, &acct, down.fn());
+
+    cache.access(0 * 64, 8, false, 0);       // miss, fills set 0
+    auto hit = cache.access(0 * 64, 8, false, 100000); // MRU hit
+    EXPECT_TRUE(hit.hit);
+    cache.access(16 * 64, 8, false, 200000); // conflict miss, evicts
+    auto after = cache.access(0 * 64, 8, false, 300000);
+    EXPECT_FALSE(after.hit); // stale MRU slot now holds line 16
+    EXPECT_EQ(cache.hits(), 1.0);
+    EXPECT_EQ(cache.misses(), 3.0);
+}
+
+TEST(Cache, PrefetchHitsCountOncePerPrefetchedLine)
+{
+    energy::Accountant acct;
+    FakeDownstream down;
+    mem::CacheParams p = smallCache();
+    p.sizeBytes = 8 * 1024;
+    p.stridePrefetch = true;
+    mem::Cache cache(p, &acct, down.fn());
+
+    // Train a +1-line stride until the prefetcher runs ahead.
+    sim::Tick now = 0;
+    for (int i = 0; i < 6; ++i) {
+        cache.access(static_cast<Addr>(i) * 64, 8, false, now);
+        now += 100000;
+    }
+    ASSERT_GT(cache.prefetchesIssued(), 0.0);
+    ASSERT_TRUE(cache.contains(7 * 64));
+
+    // First demand access of the prefetched line counts exactly once.
+    const double before = cache.prefetchHits();
+    auto r = cache.access(7 * 64, 8, false, now);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(cache.prefetchHits(), before + 1.0);
+    cache.access(7 * 64, 8, false, now + 100000);
+    EXPECT_EQ(cache.prefetchHits(), before + 1.0); // not recounted
 }
 
 TEST(Cache, SetHashSpreadsInterleavedPages)

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Equivalence of the predecoded execution stream and the raw microcode
+ * interpreter: every registered workload must produce bit-identical
+ * metrics on both paths. The predecode pass only hoists indirections
+ * (accessor defs, register slots, channel topology) and batches
+ * integer-exact counters per run() slice, so any observable difference
+ * is a bug, including in floating-point energy totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/runner.hh"
+#include "src/engine/actor.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace distda;
+
+/** Restore the global predecode toggle no matter how the test exits. */
+struct PredecodeGuard
+{
+    ~PredecodeGuard() { engine::setPredecodeEnabled(true); }
+};
+
+void
+expectSameMetrics(const driver::Metrics &a, const driver::Metrics &b,
+                  const std::string &what)
+{
+    EXPECT_EQ(a.timeNs, b.timeNs) << what;
+    EXPECT_EQ(a.hostInsts, b.hostInsts) << what;
+    EXPECT_EQ(a.accelInsts, b.accelInsts) << what;
+    EXPECT_EQ(a.kernelMemOps, b.kernelMemOps) << what;
+    EXPECT_EQ(a.hostMemOps, b.hostMemOps) << what;
+    EXPECT_EQ(a.mmioOps, b.mmioOps) << what;
+    EXPECT_EQ(a.cacheAccesses, b.cacheAccesses) << what;
+    EXPECT_EQ(a.dataMovementBytes, b.dataMovementBytes) << what;
+    EXPECT_EQ(a.totalEnergyPj, b.totalEnergyPj) << what;
+    EXPECT_EQ(a.nocCtrlBytes, b.nocCtrlBytes) << what;
+    EXPECT_EQ(a.nocDataBytes, b.nocDataBytes) << what;
+    EXPECT_EQ(a.nocAccCtrlBytes, b.nocAccCtrlBytes) << what;
+    EXPECT_EQ(a.nocAccDataBytes, b.nocAccDataBytes) << what;
+    EXPECT_EQ(a.intraBytes, b.intraBytes) << what;
+    EXPECT_EQ(a.daBytes, b.daBytes) << what;
+    EXPECT_EQ(a.aaBytes, b.aaBytes) << what;
+}
+
+driver::Metrics
+runWith(bool predecode, const std::string &workload,
+        driver::ArchModel model)
+{
+    engine::setPredecodeEnabled(predecode);
+    driver::RunConfig config;
+    config.model = model;
+    driver::RunOptions opts;
+    opts.scale = 0.25;
+    return driver::runWorkload(workload, config, opts);
+}
+
+/**
+ * Every workload, on both accelerator substrates (in-order microcoded
+ * cores and CGRA fabrics, which take different pacing paths through
+ * the actor loop).
+ */
+TEST(Predecode, MatchesInterpreterOnEveryWorkload)
+{
+    PredecodeGuard guard;
+    for (const std::string &w : workloads::workloadNames()) {
+        for (driver::ArchModel m : {driver::ArchModel::DistDA_IO,
+                                    driver::ArchModel::DistDA_F}) {
+            const auto slow = runWith(false, w, m);
+            const auto fast = runWith(true, w, m);
+            expectSameMetrics(
+                fast, slow,
+                w + " / " + driver::archModelName(m));
+        }
+    }
+}
+
+/** The private-cache (Mono-CA) and forwarding (Mono-DA) port paths. */
+TEST(Predecode, MatchesInterpreterOnMonolithicConfigs)
+{
+    PredecodeGuard guard;
+    for (driver::ArchModel m : {driver::ArchModel::MonoCA,
+                                driver::ArchModel::MonoDA_F}) {
+        const auto slow = runWith(false, "pr", m);
+        const auto fast = runWith(true, "pr", m);
+        expectSameMetrics(fast, slow,
+                          std::string("pr / ") +
+                              driver::archModelName(m));
+    }
+}
+
+} // namespace
