@@ -42,6 +42,40 @@ echo "===== parallel sweep determinism (--jobs=1 vs --jobs=$JOBS)"
 cmp "$BUILD/sweep-serial.csv" "$BUILD/sweep-parallel.csv"
 cmp tests/golden/quick_sweep.csv "$BUILD/sweep-serial.csv"
 
+echo "===== observability smoke (--timeline / --stats-json)"
+"$BUILD"/tools/distda_run --workload=pr --config=Dist-DA-F --quick \
+    --timeline="$BUILD/pr.timeline.json" \
+    --stats-json="$BUILD/pr.stats.json" >/dev/null
+python3 - "$BUILD/pr.timeline.json" "$BUILD/pr.stats.json" <<'EOF'
+import json
+import sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "timeline has no events"
+phases = {e.get("ph") for e in events}
+assert {"X", "M"} <= phases, f"missing event phases: {phases}"
+cats = {e.get("cat") for e in events if e.get("ph") == "X"}
+assert len(cats) >= 4, f"expected spans from >=4 subsystems: {cats}"
+
+report = json.load(open(sys.argv[2]))
+for key in ("workload", "config", "validated", "metrics", "stats",
+            "timeline"):
+    assert key in report, f"report missing '{key}'"
+dists = report["stats"]["dist"]
+assert any(isinstance(v, dict) and v.get("type") == "distribution"
+           and v.get("count", 0) > 0 for v in dists.values()), \
+    "report has no populated distribution"
+print("observability outputs OK "
+      f"({len(events)} events, {len(cats)} span categories)")
+EOF
+# Reports go to files only: the sweep CSV on stdout must stay
+# byte-identical with observability enabled.
+"$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
+    --jobs="$JOBS" --report-dir="$BUILD/reports" \
+    >"$BUILD/sweep-obs.csv" 2>/dev/null
+cmp tests/golden/quick_sweep.csv "$BUILD/sweep-obs.csv"
+
 echo "===== quick bench smoke (--quick --jobs=$JOBS)"
 "$BUILD"/bench/fig11_performance --quick --jobs="$JOBS" >/dev/null
 "$BUILD"/bench/table06_offload_characteristics --quick \

@@ -5,14 +5,18 @@
 #include <limits>
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 #include "src/sim/trace.hh"
 
 namespace distda::accel
 {
 
 StreamUnit::StreamUnit(const StreamParams &params, MemPort port,
-                       noc::Mesh *mesh, AccessStats *stats)
-    : _params(params), _port(std::move(port)), _mesh(mesh), _stats(stats)
+                       noc::Mesh *mesh, AccessStats *stats,
+                       sim::Probe *probe, int probe_track,
+                       stats::Distribution *fill_dist)
+    : _params(params), _port(std::move(port)), _mesh(mesh), _stats(stats),
+      _probe(probe), _probeTrack(probe_track), _fillDist(fill_dist)
 {
     const std::int64_t s =
         std::max<std::int64_t>(std::llabs(params.strideBytes), 1);
@@ -71,6 +75,11 @@ StreamUnit::grow(std::int64_t c, sim::Tick now, bool fetch)
         _fsmNow = issue + _params.cycleTick;
         _stats->daBytes += _fetchBytes;
         _stats->bufferAccesses += _elemsPerFetch;
+        if (_probe) {
+            _probe->span(_probeTrack, "fill", issue, ch.ready);
+            if (_fillDist)
+                _fillDist->sample(static_cast<double>(lat));
+        }
         DISTDA_DPRINTF(Stream, issue, "fill-fsm",
                        "fetch chunk %lld addr 0x%llx ready %llu",
                        static_cast<long long>(c),
@@ -110,6 +119,8 @@ StreamUnit::evictFront(sim::Tick now)
         _drainDone.push_back(issue + lat);
         _stats->daBytes += _fetchBytes;
         _stats->bufferAccesses += _elemsPerFetch;
+        if (_probe)
+            _probe->span(_probeTrack, "drain", issue, issue + lat);
         DISTDA_DPRINTF(Stream, issue, "drain-fsm",
                        "drain chunk %lld addr 0x%llx",
                        static_cast<long long>(_loChunk),
@@ -284,6 +295,8 @@ StreamUnit::flush(sim::Tick now)
         _drainDone.push_back(issue + lat);
         _stats->daBytes += _fetchBytes;
         _stats->bufferAccesses += _elemsPerFetch;
+        if (_probe)
+            _probe->span(_probeTrack, "drain", issue, issue + lat);
         ch.dirty = false;
     }
     sim::Tick done = now;

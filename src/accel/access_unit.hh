@@ -114,8 +114,15 @@ struct StreamParams
 class StreamUnit
 {
   public:
+    /**
+     * The trailing probe arguments are optional observability wiring:
+     * fill-FSM fetches become "fill" spans and drains "drain" spans on
+     * @p probe_track, and fetch latency samples into @p fill_dist.
+     */
     StreamUnit(const StreamParams &params, MemPort port, noc::Mesh *mesh,
-               AccessStats *stats);
+               AccessStats *stats, sim::Probe *probe = nullptr,
+               int probe_track = -1,
+               stats::Distribution *fill_dist = nullptr);
 
     const StreamParams &params() const { return _params; }
 
@@ -195,6 +202,9 @@ class StreamUnit
     MemPort _port;
     noc::Mesh *_mesh;
     AccessStats *_stats;
+    sim::Probe *_probe;
+    int _probeTrack;
+    stats::Distribution *_fillDist;
 
     std::int64_t _elemsPerFetch;
     std::int64_t _capacityChunks;

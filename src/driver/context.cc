@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 
 namespace distda::driver
 {
 
-ExecContext::ExecContext(System &sys, const RunConfig &config)
-    : _sys(sys), _config(config), _hostClock(2'000'000'000ULL)
+ExecContext::ExecContext(System &sys, const RunConfig &config,
+                         sim::Probe *probe)
+    : _sys(sys), _config(config), _probe(probe),
+      _hostClock(2'000'000'000ULL)
 {
 }
 
@@ -24,10 +27,15 @@ ExecContext::compiled(const compiler::Kernel &kernel)
     CompiledKernel ck;
     ck.plan = std::make_unique<compiler::OffloadPlan>(
         compiler::compileKernel(kernel, _config.compileOptions()));
+    if (_probe) {
+        ck.probeTrack = _probe->addTrack(
+            _sys.hier().mesh().hostNode(), "invoke:" + kernel.name);
+    }
     if (_config.usesAccelerator()) {
+        engine::EngineConfig ec = _config.engineConfig();
+        ec.probe = _probe;
         ck.runtime = std::make_unique<offload::OffloadRuntime>(
-            *ck.plan, _config.engineConfig(), &_sys.hier(),
-            &_sys.backend(), &_sys.acct());
+            *ck.plan, ec, &_sys.hier(), &_sys.backend(), &_sys.acct());
     } else {
         ck.host = std::make_unique<engine::HostExecutor>(
             ck.plan->kernel, &_sys.hier(), &_sys.backend(),
@@ -45,6 +53,7 @@ ExecContext::invoke(const compiler::Kernel &kernel,
                     const std::vector<compiler::Word> &params)
 {
     CompiledKernel &ck = compiled(kernel);
+    const sim::Tick t0 = _now;
     if (ck.host) {
         engine::HostRunResult res = ck.host->run(bindings, params, _now);
         _now = res.endTick;
@@ -59,6 +68,8 @@ ExecContext::invoke(const compiler::Kernel &kernel,
         _memOps += res.memOps;
         _lastResults = std::move(res.results);
     }
+    if (_probe)
+        _probe->span(ck.probeTrack, "invoke", t0, _now);
 }
 
 double
@@ -150,6 +161,9 @@ ExecContext::finish()
     Metrics m;
     m.config = archModelName(_config.model);
     m.timeNs = nowNs();
+    // ipc() counts cycles of the clock actually configured; 0 means
+    // "model default", reported against the 2GHz host clock as before.
+    m.clockGHz = _config.accelGHz > 0.0 ? _config.accelGHz : 2.0;
     m.hostInsts = _hostInsts;
     m.accelInsts = _accelInsts;
     m.kernelMemOps = _memOps;

@@ -28,7 +28,13 @@ namespace distda::driver
 class ExecContext
 {
   public:
-    ExecContext(System &sys, const RunConfig &config);
+    /**
+     * @p probe (optional, caller-owned, must outlive the context)
+     * turns on timeline recording: the context threads it into every
+     * engine it builds and emits one "invoke" span per kernel call.
+     */
+    ExecContext(System &sys, const RunConfig &config,
+                sim::Probe *probe = nullptr);
     ~ExecContext();
 
     System &sys() { return _sys; }
@@ -95,12 +101,14 @@ class ExecContext
         std::unique_ptr<compiler::OffloadPlan> plan;
         std::unique_ptr<offload::OffloadRuntime> runtime;
         std::unique_ptr<engine::HostExecutor> host;
+        int probeTrack = -1; ///< per-kernel "invoke" span track
     };
 
     CompiledKernel &compiled(const compiler::Kernel &kernel);
 
     System &_sys;
     RunConfig _config;
+    sim::Probe *_probe;
     sim::ClockDomain _hostClock;
     sim::Tick _now = 0;
     std::map<std::string, CompiledKernel> _kernels;

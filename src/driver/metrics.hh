@@ -80,6 +80,13 @@ struct Metrics
     double wallMs = 0.0;
     double setupWallMs = 0.0; ///< workload construction + setup share
 
+    /**
+     * Clock the ipc() denominator counts cycles against, in GHz. Set
+     * by ExecContext::finish() from RunConfig::accelGHz when an
+     * override is active; 2.0 (the host clock) otherwise.
+     */
+    double clockGHz = 2.0;
+
     double totalInsts() const { return hostInsts + accelInsts; }
 
     /** Simulated nanoseconds per host wall-clock millisecond. */
@@ -89,11 +96,13 @@ struct Metrics
         return wallMs > 0.0 ? timeNs / wallMs : 0.0;
     }
 
-    /** IPC against the 2GHz host clock (Fig 11a). */
+    /** IPC against clockGHz (Fig 11a; 2GHz host unless --ghz=). */
     double
     ipc() const
     {
-        return timeNs > 0.0 ? totalInsts() / (timeNs * 2.0) : 0.0;
+        return timeNs > 0.0 && clockGHz > 0.0
+                   ? totalInsts() / (timeNs * clockGHz)
+                   : 0.0;
     }
 
     /** Memory operations per nanosecond (Fig 11a). */

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Machine-readable run reports: one JSON document per run combining
+ * the headline Metrics, the full stats tree (memory hierarchy, NoC,
+ * energy accountant) and every probe-registered distribution. This is
+ * the `--stats-json=` / `--report-dir=` output format; `--timeline=`
+ * is handled by sim::Probe's Chrome-trace export directly.
+ */
+
+#ifndef DISTDA_DRIVER_REPORT_HH
+#define DISTDA_DRIVER_REPORT_HH
+
+#include <string>
+
+#include "src/driver/metrics.hh"
+#include "src/driver/system.hh"
+
+namespace distda::sim
+{
+class Probe;
+}
+
+namespace distda::driver
+{
+
+/**
+ * Serialize a run report as JSON text. @p probe may be null (report
+ * without timeline-derived distributions); @p sys supplies the
+ * hierarchy and energy stats trees.
+ */
+std::string buildRunReport(const Metrics &m, System &sys,
+                           const sim::Probe *probe);
+
+/** buildRunReport() written to @p path; false (with warn) on error. */
+bool writeRunReport(const std::string &path, const Metrics &m,
+                    System &sys, const sim::Probe *probe);
+
+} // namespace distda::driver
+
+#endif // DISTDA_DRIVER_REPORT_HH

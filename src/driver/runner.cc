@@ -3,8 +3,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
+#include "src/driver/report.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 #include "src/verify/verify.hh"
 #include "src/workloads/workload.hh"
 
@@ -31,7 +34,17 @@ runWorkload(const std::string &workload, const RunConfig &config,
     wl->setup(sys);
     const auto t_setup = Clock::now();
 
-    ExecContext ctx(sys, config);
+    // Observability is opt-in per run: with no output requested no
+    // probe exists and every instrumented site sees a null pointer.
+    std::unique_ptr<sim::Probe> probe;
+    if (opts.obs.enabled()) {
+        sim::Probe::Options po;
+        po.intervalTicks = opts.obs.statsIntervalTicks;
+        probe = std::make_unique<sim::Probe>(po);
+        sys.hier().attachProbe(*probe);
+    }
+
+    ExecContext ctx(sys, config, probe.get());
     wl->run(ctx);
 
     Metrics m = ctx.finish();
@@ -43,6 +56,13 @@ runWorkload(const std::string &workload, const RunConfig &config,
     }
     m.setupWallMs = wall_ms(t0, t_setup);
     m.wallMs = wall_ms(t0, Clock::now());
+
+    if (probe) {
+        if (!opts.obs.timelinePath.empty())
+            probe->writeChromeTrace(opts.obs.timelinePath);
+        if (!opts.obs.statsJsonPath.empty())
+            writeRunReport(opts.obs.statsJsonPath, m, sys, probe.get());
+    }
     return m;
 }
 

@@ -12,14 +12,36 @@
 
 #include "src/driver/config.hh"
 #include "src/driver/metrics.hh"
+#include "src/sim/ticks.hh"
 
 namespace distda::driver
 {
+
+/**
+ * Observability outputs of one run. Both paths empty (the default)
+ * means no probe is built and the simulation pays nothing beyond one
+ * null-pointer test per instrumented site.
+ */
+struct ObsOptions
+{
+    /** Chrome trace-event timeline (Perfetto-loadable) output path. */
+    std::string timelinePath;
+    /** Machine-readable run report (metrics + stats tree) path. */
+    std::string statsJsonPath;
+    /** Counter-sampling coalescing interval (--stats-interval). */
+    sim::Tick statsIntervalTicks = 1'000'000;
+
+    bool enabled() const
+    {
+        return !timelinePath.empty() || !statsJsonPath.empty();
+    }
+};
 
 /** Run options shared across sweeps. */
 struct RunOptions
 {
     double scale = 1.0; ///< problem-size multiplier
+    ObsOptions obs;     ///< timeline/report outputs (off by default)
 };
 
 /** Run one workload under one configuration. */

@@ -1,6 +1,10 @@
 #include "src/driver/sweep.hh"
 
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
@@ -68,6 +72,19 @@ class ProgressReporter
     std::size_t _done = 0;
 };
 
+/** Report-file stem component: anything path-hostile becomes '-'. */
+std::string
+fileSafe(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_' && c != '.')
+            c = '-';
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -95,13 +112,18 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opts)
     if (opts.quietRuns)
         setInformEnabled(false);
 
+    if (!opts.reportDir.empty() &&
+        ::mkdir(opts.reportDir.c_str(), 0755) != 0 && errno != EEXIST) {
+        warn("cannot create report dir '%s'", opts.reportDir.c_str());
+    }
+
     ProgressReporter progress(jobs.size(), opts.progress);
     {
         const int workers =
             opts.jobs > 0 ? opts.jobs : defaultJobCount();
         ThreadPool pool(workers);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            pool.submit([&jobs, &results, &progress, i] {
+            pool.submit([&jobs, &results, &progress, &opts, i] {
                 const SweepJob &job = jobs[i];
                 SweepResult &r = results[i];
                 r.index = i;
@@ -109,12 +131,20 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opts)
                 r.label = job.label.empty()
                               ? archModelName(job.config.model)
                               : job.label;
+                RunOptions run_opts = job.options;
+                if (!opts.reportDir.empty()) {
+                    const std::string stem =
+                        opts.reportDir + "/" + fileSafe(r.workload) +
+                        "_" + fileSafe(r.label);
+                    run_opts.obs.timelinePath = stem + ".timeline.json";
+                    run_opts.obs.statsJsonPath = stem + ".stats.json";
+                }
                 const auto t0 = Clock::now();
                 try {
                     ScopedFailureCapture capture;
                     r.metrics =
                         runWorkload(job.workload, job.config,
-                                    job.options);
+                                    run_opts);
                     if (!job.label.empty())
                         r.metrics.config = job.label;
                     r.ok = true;

@@ -60,6 +60,14 @@ struct SweepOptions
     bool progress = false;
     /** Silence inform() for the duration of the sweep (restored). */
     bool quietRuns = true;
+    /**
+     * When non-empty, every job writes its observability outputs into
+     * this directory (created if missing) as
+     * `<workload>_<label>.stats.json` / `<workload>_<label>.timeline.json`,
+     * overriding any per-job ObsOptions paths. Stdout is untouched, so
+     * CSV output stays byte-identical with reports enabled.
+     */
+    std::string reportDir;
 };
 
 /**

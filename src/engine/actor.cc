@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 #include "src/sim/trace.hh"
 
 namespace distda::engine
@@ -655,9 +656,60 @@ PartitionActor::run(std::int64_t max_iters)
     if (_finished)
         return ActorStatus::Finished;
 
-    if (!_exec.empty())
-        return runPredecoded(max_iters);
+    if (!_config.probe) {
+        return _exec.empty() ? runInterpreted(max_iters)
+                             : runPredecoded(max_iters);
+    }
 
+    // Timeline slice batching: snapshot time/stall/inst counters, run
+    // the slice at full speed, then attribute the elapsed interval —
+    // one pointer test on the hot path when observability is off, a
+    // handful of span records per 1024-iteration slice when on.
+    const sim::Tick t0 = _now;
+    const StallStats s0 = _stalls;
+    const double i0 = _insts;
+    const ActorStatus st = _exec.empty() ? runInterpreted(max_iters)
+                                         : runPredecoded(max_iters);
+    emitSlice(t0, s0, i0);
+    return st;
+}
+
+void
+PartitionActor::emitSlice(sim::Tick t0, const StallStats &s0, double i0)
+{
+    sim::Probe &probe = *_config.probe;
+    const sim::Tick total = _now - t0;
+    if (total > 0) {
+        // Sequential attribution of the slice interval. The segments
+        // are an aggregate, not an ordered replay, so clamp rather
+        // than overrun when stalls overlap the whole interval.
+        sim::Tick mem = (_stalls.streamWait - s0.streamWait) +
+                        (_stalls.indirectWait - s0.indirectWait);
+        sim::Tick chan = _stalls.channelWait - s0.channelWait;
+        mem = std::min(mem, total);
+        chan = std::min(chan, total - mem);
+        const sim::Tick busy = total - mem - chan;
+        sim::Tick t = t0;
+        if (busy > 0) {
+            probe.span(_config.track, "compute", t, t + busy);
+            t += busy;
+        }
+        if (mem > 0) {
+            probe.span(_config.track, "mem-blocked", t, t + mem);
+            t += mem;
+        }
+        if (chan > 0)
+            probe.span(_config.track, "chan-blocked", t, t + chan);
+    }
+    if (_config.sliceInsts && _insts > i0)
+        _config.sliceInsts->sample(_insts - i0);
+    if (_finished)
+        probe.instant(_config.track, "finished", _finishTick);
+}
+
+ActorStatus
+PartitionActor::runInterpreted(std::int64_t max_iters)
+{
     const auto &insts = _config.part->program.insts;
     const std::uint16_t iv_reg = _config.part->program.ivReg;
     std::int64_t done = 0;

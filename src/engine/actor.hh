@@ -73,6 +73,15 @@ class PartitionActor
         sim::Tick hideTicks = 0;
         energy::Component energyComp = energy::Component::IOCore;
         sim::Tick startTick = 0;
+        /**
+         * Observability wiring (null when off). Span emission is
+         * batched per run() slice — one compute/mem-blocked/
+         * chan-blocked breakdown per slice, not per instruction — so
+         * the predecoded hot loop stays untouched.
+         */
+        sim::Probe *probe = nullptr;
+        int track = -1;
+        stats::Distribution *sliceInsts = nullptr;
     };
 
     PartitionActor(const Config &config,
@@ -151,6 +160,16 @@ class PartitionActor
 
     /** run() over the predecoded stream with slice-batched stats. */
     ActorStatus runPredecoded(std::int64_t max_iters);
+
+    /** run() interpreting the raw MicroProgram (predecode off). */
+    ActorStatus runInterpreted(std::int64_t max_iters);
+
+    /**
+     * Emit this slice's timeline spans: the [t0, _now) interval split
+     * into sequential compute / mem-blocked / chan-blocked segments
+     * from the stall-counter deltas since (@p s0, @p i0).
+     */
+    void emitSlice(sim::Tick t0, const StallStats &s0, double i0);
 
     void finish();
 

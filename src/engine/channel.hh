@@ -58,6 +58,8 @@ class Channel
     {
         _items.push_back(ChannelItem{value, ready_at});
         ++_pushed;
+        if (_items.size() > _maxOcc)
+            _maxOcc = _items.size();
     }
 
     const ChannelItem &front() const { return _items.front(); }
@@ -72,6 +74,9 @@ class Channel
     std::uint64_t pushed() const { return _pushed; }
     std::uint64_t popped() const { return _popped; }
 
+    /** High-water occupancy over the channel's lifetime. */
+    std::size_t maxOccupancy() const { return _maxOcc; }
+
   private:
     std::size_t _capacity;
     std::uint32_t _elemBytes;
@@ -82,6 +87,7 @@ class Channel
     std::deque<ChannelItem> _items;
     std::uint64_t _pushed = 0;
     std::uint64_t _popped = 0;
+    std::size_t _maxOcc = 0;
 };
 
 } // namespace distda::engine

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 
 namespace distda::engine
 {
@@ -118,8 +120,18 @@ DataflowEngine::retainedStream(int node, const accel::StreamParams &sp,
         it->second->rewind(now);
         return it->second.get();
     }
+    sim::Probe *probe = _config.probe;
+    int track = -1;
+    stats::Distribution *fill_dist = nullptr;
+    if (probe) {
+        track = probe->addTrack(sp.unitCluster,
+                                "stream" + std::to_string(node));
+        fill_dist = &probe->addDist("stream.fill_latency_ticks", 0.0,
+                                    100'000.0, 20);
+    }
     auto unit = std::make_unique<accel::StreamUnit>(
-        sp, std::move(port), &_hier->mesh(), &_stats);
+        sp, std::move(port), &_hier->mesh(), &_stats, probe, track,
+        fill_dist);
     _retained[node] = std::move(unit);
     return _retained[node].get();
 }
@@ -362,11 +374,33 @@ DataflowEngine::invoke(const std::vector<ArrayRef> &bindings,
             ac.hideTicks = depth * cycle;
         }
         ac.startTick = start_tick;
+        if (_config.probe) {
+            ac.probe = _config.probe;
+            ac.track = _config.probe->addTrack(
+                compute_cluster, "part" + std::to_string(part.id));
+            ac.sliceInsts = &_config.probe->addDist(
+                "actor.slice_insts", 0.0, 8192.0, 32);
+        }
 
         actors.push_back(std::make_unique<PartitionActor>(
             ac, std::move(ars), std::move(random), std::move(ins),
             std::move(outs), param_values, _backend, _acct,
             &_hier->mesh(), &_stats));
+    }
+
+    // Channel occupancy counter tracks: one counter per channel on its
+    // source cluster's track, sampled once per round-robin round (the
+    // probe coalesces to the configured interval).
+    std::vector<int> ch_counters;
+    if (_config.probe) {
+        ch_counters.reserve(channels.size());
+        for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+            const int track = _config.probe->addTrack(
+                channels[ci]->srcCluster(),
+                "ch" + std::to_string(_plan.channels[ci].id));
+            ch_counters.push_back(
+                _config.probe->addCounter(track, "occupancy"));
+        }
     }
 
     // --- Round-robin decoupled execution until quiescence. ---
@@ -386,6 +420,25 @@ DataflowEngine::invoke(const std::vector<ArrayRef> &bindings,
             panic("dataflow deadlock in kernel '%s'",
                   kernel.name.c_str());
         }
+        if (_config.probe) {
+            sim::Tick round_now = start_tick;
+            for (const auto &actor : actors)
+                round_now = std::max(round_now, actor->now());
+            for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+                _config.probe->counter(
+                    ch_counters[ci], round_now,
+                    static_cast<double>(channels[ci]->occupancy()),
+                    all_done);
+            }
+        }
+    }
+
+    if (_config.probe) {
+        stats::Distribution &occ = _config.probe->addDist(
+            "channel.max_occupancy", 0.0,
+            static_cast<double>(_config.channelCapacity) + 1.0, 16);
+        for (const auto &ch : channels)
+            occ.sample(static_cast<double>(ch->maxOccupancy()));
     }
 
     InvokeResult result;

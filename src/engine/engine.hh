@@ -58,6 +58,12 @@ struct EngineConfig
     int channelCapacity = 64;
     /** Retain stream windows across invocations (§V-B reuse). */
     bool retainBuffers = true;
+    /**
+     * Per-run timeline probe (null = observability off). The engine
+     * threads it into every actor, stream unit and channel it builds;
+     * the caller owns the probe and must keep it alive across invoke().
+     */
+    sim::Probe *probe = nullptr;
 };
 
 /** Outcome of one kernel invocation. */

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 
 namespace distda::mem
 {
@@ -143,6 +144,12 @@ Cache::accessLine(Addr line_addr, bool write, sim::Tick now)
     _mshrFree.back() = done;
     std::push_heap(_mshrFree.begin(), _mshrFree.end(),
                    std::greater<sim::Tick>());
+
+    if (_probe) {
+        _probe->span(_probeTrack, "miss", start, done);
+        if (_missDist)
+            _missDist->sample(static_cast<double>(done - now));
+    }
 
     if (!write && _params.stridePrefetch)
         prefetch(line_addr, now);

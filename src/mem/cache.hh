@@ -24,6 +24,11 @@
 #include "src/sim/stats.hh"
 #include "src/sim/ticks.hh"
 
+namespace distda::sim
+{
+class Probe;
+} // namespace distda::sim
+
 namespace distda::mem
 {
 
@@ -154,6 +159,20 @@ class Cache
     void exportStats(stats::Group &group) const;
     void reset();
 
+    /**
+     * Attach a timeline probe: demand misses emit "miss" spans on
+     * @p track and sample @p miss_dist with their latency in ticks.
+     * Null @p probe detaches; the hot path then pays one pointer test.
+     */
+    void
+    setProbe(sim::Probe *probe, int track,
+             stats::Distribution *miss_dist)
+    {
+        _probe = probe;
+        _probeTrack = track;
+        _missDist = miss_dist;
+    }
+
   private:
     struct Line
     {
@@ -214,6 +233,10 @@ class Cache
 
     double _accesses = 0, _hits = 0, _misses = 0, _writebacks = 0;
     double _prefetches = 0, _prefetchHits = 0;
+
+    sim::Probe *_probe = nullptr;
+    int _probeTrack = -1;
+    stats::Distribution *_missDist = nullptr;
 };
 
 } // namespace distda::mem

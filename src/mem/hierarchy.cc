@@ -1,6 +1,7 @@
 #include "src/mem/hierarchy.hh"
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 
 namespace distda::mem
 {
@@ -116,6 +117,27 @@ Hierarchy::exportStats(stats::Group &group) const
         acp_acc += a->accesses();
     group.add("acp.accesses") = acp_acc;
     group.add("cache_accesses_total") = cacheAccesses();
+}
+
+void
+Hierarchy::attachProbe(sim::Probe &probe)
+{
+    const int host = _mesh->hostNode();
+    _l1->setProbe(&probe, probe.addTrack(host, "l1d"),
+                  &probe.addDist("l1d.miss_latency_ticks", 0.0,
+                                 200'000.0, 20));
+    _l2->setProbe(&probe, probe.addTrack(host, "l2"),
+                  &probe.addDist("l2.miss_latency_ticks", 0.0,
+                                 200'000.0, 20));
+    stats::Distribution &acp_miss =
+        probe.addDist("acp.miss_latency_ticks", 0.0, 200'000.0, 20);
+    for (std::size_t c = 0; c < _acps.size(); ++c) {
+        _acps[c]->setProbe(
+            &probe, probe.addTrack(static_cast<int>(c), "acp"),
+            &acp_miss);
+    }
+    _l3->attachProbe(probe);
+    _mesh->setProbe(&probe);
 }
 
 void

@@ -66,6 +66,14 @@ class Hierarchy
     void exportStats(stats::Group &group) const;
     void reset();
 
+    /**
+     * Wire a per-run timeline probe through the whole memory system:
+     * host L1/L2 tracks at the host cluster, one ACP track per
+     * cluster, one track per L3 bank, and the mesh's per-node packet
+     * tracks. Call once per run, before simulation starts.
+     */
+    void attachProbe(sim::Probe &probe);
+
   private:
     /**
      * Stable storage for the caches' non-owning Downstream views: one

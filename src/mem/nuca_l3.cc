@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 
 namespace distda::mem
 {
@@ -137,6 +138,20 @@ NucaL3::exportStats(stats::Group &group) const
         b->exportStats(group);
     group.add("l3.accesses") = totalAccesses();
     group.add("l3.misses") = totalMisses();
+}
+
+void
+NucaL3::attachProbe(sim::Probe &probe)
+{
+    // All banks funnel into one L3-wide miss-latency histogram; the
+    // per-bank structure is visible on the timeline tracks instead.
+    stats::Distribution &miss =
+        probe.addDist("l3.miss_latency_ticks", 0.0, 200'000.0, 20);
+    for (int c = 0; c < _params.clusters; ++c) {
+        const int track = probe.addTrack(c, "l3bank");
+        _banks[static_cast<std::size_t>(c)]->setProbe(&probe, track,
+                                                      &miss);
+    }
 }
 
 void

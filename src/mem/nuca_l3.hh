@@ -86,6 +86,12 @@ class NucaL3
     void exportStats(stats::Group &group) const;
     void reset();
 
+    /**
+     * Register one timeline track per bank (under its cluster's
+     * process) and route bank miss spans/latencies into @p probe.
+     */
+    void attachProbe(sim::Probe &probe);
+
   private:
     struct AffinityRange
     {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/sim/logging.hh"
+#include "src/sim/probe.hh"
 
 namespace distda::noc
 {
@@ -31,13 +32,44 @@ Mesh::Mesh(const MeshParams &params, energy::Accountant *acct)
         fatal("host node %d outside mesh", params.hostNode);
 }
 
+void
+Mesh::setProbe(sim::Probe *probe)
+{
+    _probe = probe;
+    _nodeTracks.clear();
+    _pktBytes = nullptr;
+    _pktHops = nullptr;
+    if (!probe)
+        return;
+    _nodeTracks.reserve(static_cast<std::size_t>(numNodes()));
+    for (int n = 0; n < numNodes(); ++n)
+        _nodeTracks.push_back(probe->addTrack(n, "noc"));
+    _pktBytes = &probe->addDist("noc.packet_bytes", 0.0, 128.0, 16);
+    _pktHops = &probe->addDist("noc.packet_hops", 0.0, 8.0, 8);
+}
+
+void
+Mesh::recordTransfer(int src, int nhops, std::uint32_t bytes,
+                     TrafficClass cls, sim::Tick start, sim::Tick end)
+{
+    // trafficClassName returns string literals, satisfying the probe's
+    // static-storage span-name contract.
+    _probe->span(_nodeTracks[static_cast<std::size_t>(src)],
+                 trafficClassName(cls), start, end);
+    _pktBytes->sample(static_cast<double>(bytes));
+    _pktHops->sample(static_cast<double>(nhops));
+}
+
 TransferResult
 Mesh::multicast(int src, const std::vector<int> &dsts, std::uint32_t bytes,
                 TrafficClass cls, sim::Tick now)
 {
-    (void)now;
     if (dsts.empty())
         return TransferResult{0, 0};
+    if (_probe) {
+        _probe->instant(_nodeTracks[static_cast<std::size_t>(src)],
+                        "multicast", now);
+    }
 
     // Build the set of unique links along the XY paths; energy and
     // bytes are charged once per unique link (tree forwarding).

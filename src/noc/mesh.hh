@@ -26,6 +26,11 @@
 #include "src/sim/stats.hh"
 #include "src/sim/ticks.hh"
 
+namespace distda::sim
+{
+class Probe;
+} // namespace distda::sim
+
 namespace distda::noc
 {
 
@@ -133,6 +138,9 @@ class Mesh
         if (_acct)
             _acct->addEvents(energy::Component::Noc, flits * nhops);
 
+        if (_probe)
+            recordTransfer(src, nhops, bytes, cls, start, start + ser);
+
         return TransferResult{done - now, nhops};
     }
 
@@ -160,9 +168,22 @@ class Mesh
     /** Zero all counters and busy state. */
     void reset();
 
+    /**
+     * Attach a timeline probe: every cross-node packet becomes a span
+     * on its source node's "noc" track (spans can't overlap — the
+     * contention model serializes a router's injections), with packet
+     * size and hop-count histograms on the side. Null detaches.
+     */
+    void setProbe(sim::Probe *probe);
+
   private:
     int nodeX(int node) const { return node % _params.cols; }
     int nodeY(int node) const { return node / _params.cols; }
+
+    /** Out-of-line probe bookkeeping for the inline transfer(). */
+    void recordTransfer(int src, int nhops, std::uint32_t bytes,
+                        TrafficClass cls, sim::Tick start,
+                        sim::Tick end);
 
     MeshParams _params;
     energy::Accountant *_acct;
@@ -175,6 +196,11 @@ class Mesh
                static_cast<std::size_t>(TrafficClass::NumClasses)>
         _packets{};
     double _totalHopFlits = 0.0;
+
+    sim::Probe *_probe = nullptr;
+    std::vector<int> _nodeTracks;
+    stats::Distribution *_pktBytes = nullptr;
+    stats::Distribution *_pktHops = nullptr;
 };
 
 } // namespace distda::noc

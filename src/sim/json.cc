@@ -1,0 +1,197 @@
+#include "src/sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/sim/logging.hh"
+
+namespace distda::sim
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (_stack.empty())
+        return;
+    if (_stack.back() == Frame::Object) {
+        DISTDA_ASSERT(_keyPending, "JSON object value without a key");
+        _keyPending = false;
+        return;
+    }
+    if (!_first.back())
+        _out += ',';
+    _first.back() = false;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    DISTDA_ASSERT(!_stack.empty() && _stack.back() == Frame::Object,
+                  "JSON key outside an object");
+    DISTDA_ASSERT(!_keyPending, "JSON key '%s' follows a dangling key",
+                  k.c_str());
+    if (!_first.back())
+        _out += ',';
+    _first.back() = false;
+    _out += '"';
+    _out += jsonEscape(k);
+    _out += "\":";
+    _keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    _out += '{';
+    _stack.push_back(Frame::Object);
+    _first.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    DISTDA_ASSERT(!_stack.empty() && _stack.back() == Frame::Object &&
+                      !_keyPending,
+                  "mismatched JSON endObject");
+    _out += '}';
+    _stack.pop_back();
+    _first.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    _out += '[';
+    _stack.push_back(Frame::Array);
+    _first.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    DISTDA_ASSERT(!_stack.empty() && _stack.back() == Frame::Array,
+                  "mismatched JSON endArray");
+    _out += ']';
+    _stack.pop_back();
+    _first.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    _out += '"';
+    _out += jsonEscape(v);
+    _out += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null keeps the document parseable.
+        _out += "null";
+        return *this;
+    }
+    char buf[40];
+    // %.17g round-trips doubles; trim the common integral case.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    _out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    _out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    _out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    _out += v ? "true" : "false";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    DISTDA_ASSERT(_stack.empty(), "JSON document has %zu open scope(s)",
+                  _stack.size());
+    return _out;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = n == text.size() && std::fclose(f) == 0;
+    if (!ok)
+        warn("short write to '%s'", path.c_str());
+    return ok;
+}
+
+} // namespace distda::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A minimal streaming JSON writer. The observability layer emits two
+ * JSON artifacts — Chrome trace-event timelines and machine-readable
+ * run reports — and both only need objects, arrays, numbers, strings
+ * and booleans, so a tiny push-style writer beats pulling in a
+ * dependency. The writer tracks the container stack and inserts commas
+ * and indentation; keys and values are emitted in call order.
+ */
+
+#ifndef DISTDA_SIM_JSON_HH
+#define DISTDA_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distda::sim
+{
+
+/** Escape @p s for use inside a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Push-style JSON document builder. Containers are opened and closed
+ * explicitly; inside an object every value must be preceded by key().
+ * The result is valid JSON iff every begin has a matching end and the
+ * key/value discipline is respected (checked with panics).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() { _out.reserve(4096); }
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Name the next value of the enclosing object. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(bool v);
+
+    /** The document so far; call once everything is closed. */
+    const std::string &str() const;
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    void beforeValue();
+
+    std::string _out;
+    std::vector<Frame> _stack;
+    std::vector<bool> _first;
+    bool _keyPending = false;
+};
+
+/** Write @p text to @p path; returns false (with warn) on I/O error. */
+bool writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace distda::sim
+
+#endif // DISTDA_SIM_JSON_HH

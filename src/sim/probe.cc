@@ -1,0 +1,201 @@
+#include "src/sim/probe.hh"
+
+#include <bit>
+#include <set>
+
+#include "src/sim/json.hh"
+#include "src/sim/logging.hh"
+
+namespace distda::sim
+{
+
+namespace
+{
+
+// Trace-event timestamps are microseconds; ticks are picoseconds.
+double
+usec(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+} // namespace
+
+int
+Probe::addTrack(int cluster, const std::string &name)
+{
+    auto key = std::make_pair(cluster, name);
+    if (auto it = _trackIds.find(key); it != _trackIds.end())
+        return it->second;
+    const int id = static_cast<int>(_tracks.size());
+    _tracks.push_back(Track{name, cluster});
+    _trackIds.emplace(std::move(key), id);
+    return id;
+}
+
+int
+Probe::addCounter(int track, const std::string &name)
+{
+    DISTDA_ASSERT(track >= 0 &&
+                      track < static_cast<int>(_tracks.size()),
+                  "counter '%s' on unknown track %d", name.c_str(),
+                  track);
+    for (std::size_t i = 0; i < _counters.size(); ++i) {
+        if (_counters[i].track == track && _counters[i].name == name)
+            return static_cast<int>(i);
+    }
+    _counters.push_back(Counter{name, track});
+    return static_cast<int>(_counters.size()) - 1;
+}
+
+void
+Probe::record(const Event &ev)
+{
+    if (_opts.capacity == 0)
+        return;
+    if (_ring.size() < _opts.capacity) {
+        _ring.push_back(ev);
+        return;
+    }
+    _ring[_next] = ev;
+    _next = (_next + 1) % _opts.capacity;
+    ++_dropped;
+}
+
+void
+Probe::counter(int counter_id, Tick at, double value, bool force)
+{
+    DISTDA_ASSERT(counter_id >= 0 &&
+                      counter_id < static_cast<int>(_counters.size()),
+                  "sample of unknown counter %d", counter_id);
+    Counter &c = _counters[counter_id];
+    if (!force && c.sampled && at < c.lastSample + _opts.intervalTicks)
+        return;
+    c.sampled = true;
+    c.lastSample = at;
+    record(Event{nullptr, at, std::bit_cast<Tick>(value), counter_id,
+                 Kind::Counter});
+}
+
+stats::Distribution &
+Probe::addDist(const std::string &name, double lo, double hi,
+               std::size_t num_buckets)
+{
+    auto it = _dists.find(name);
+    if (it == _dists.end()) {
+        it = _dists
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple(lo, hi, num_buckets))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+Probe::exportDists(stats::Group &g) const
+{
+    for (const auto &[name, dist] : _dists) {
+        stats::Distribution &d = g.addDistribution(
+            name, dist.bucketLo(), dist.bucketHi(), dist.numBuckets());
+        d = dist;
+    }
+}
+
+void
+Probe::writeChromeTrace(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("displayTimeUnit").value("ns");
+    w.key("traceEvents").beginArray();
+
+    // Metadata: name each cluster's "process" and each track's
+    // "thread". tid is the registration-order track id, so trace
+    // viewers show tracks in the order components registered them.
+    std::set<int> clusters;
+    for (const Track &t : _tracks)
+        clusters.insert(t.cluster);
+    for (const int c : clusters) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("name").value("process_name");
+        w.key("pid").value(c);
+        w.key("tid").value(0);
+        w.key("args").beginObject();
+        w.key("name").value("cluster" + std::to_string(c));
+        w.endObject();
+        w.endObject();
+    }
+    for (std::size_t i = 0; i < _tracks.size(); ++i) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("name").value("thread_name");
+        w.key("pid").value(_tracks[i].cluster);
+        w.key("tid").value(static_cast<std::int64_t>(i));
+        w.key("args").beginObject();
+        w.key("name").value(_tracks[i].name);
+        w.endObject();
+        w.endObject();
+    }
+
+    // Events, oldest first (the ring wraps at _next once full).
+    const std::size_t n = _ring.size();
+    const bool wrapped = n == _opts.capacity && _dropped > 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Event &ev = _ring[wrapped ? (_next + i) % n : i];
+        w.beginObject();
+        switch (ev.kind) {
+          case Kind::Span: {
+            const Track &t = _tracks[ev.track];
+            w.key("ph").value("X");
+            w.key("name").value(ev.name);
+            w.key("cat").value(t.name);
+            w.key("pid").value(t.cluster);
+            w.key("tid").value(static_cast<std::int64_t>(ev.track));
+            w.key("ts").value(usec(ev.start));
+            w.key("dur").value(usec(ev.dur));
+            break;
+          }
+          case Kind::Instant: {
+            const Track &t = _tracks[ev.track];
+            w.key("ph").value("i");
+            w.key("name").value(ev.name);
+            w.key("cat").value(t.name);
+            w.key("pid").value(t.cluster);
+            w.key("tid").value(static_cast<std::int64_t>(ev.track));
+            w.key("ts").value(usec(ev.start));
+            w.key("s").value("t");
+            break;
+          }
+          case Kind::Counter: {
+            const Counter &c = _counters[ev.track];
+            const Track &t = _tracks[c.track];
+            w.key("ph").value("C");
+            w.key("name").value(c.name);
+            w.key("pid").value(t.cluster);
+            w.key("tid").value(static_cast<std::int64_t>(c.track));
+            w.key("ts").value(usec(ev.start));
+            w.key("args").beginObject();
+            w.key("value").value(std::bit_cast<double>(ev.dur));
+            w.endObject();
+            break;
+          }
+        }
+        w.endObject();
+    }
+
+    w.endArray();
+    if (_dropped > 0)
+        w.key("droppedEvents").value(_dropped);
+    w.endObject();
+}
+
+bool
+Probe::writeChromeTrace(const std::string &path) const
+{
+    JsonWriter w;
+    writeChromeTrace(w);
+    return writeTextFile(path, w.str());
+}
+
+} // namespace distda::sim

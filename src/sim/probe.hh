@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Timeline probe: a per-run recorder of typed spans, instants and
+ * counter samples that exports Chrome trace-event JSON (loadable in
+ * Perfetto / chrome://tracing).
+ *
+ * Model: a probe owns a set of *tracks*, each belonging to a cluster.
+ * In the exported trace every cluster becomes one "process" and every
+ * track one "thread", so per-unit activity lines up vertically under
+ * its cluster. Instrumented components hold a raw `Probe *` (null when
+ * observability is off) plus their track id; the hot-path cost of a
+ * disabled probe is one pointer test.
+ *
+ * Events go into a fixed-capacity ring buffer: when a run emits more
+ * events than the ring holds, the oldest are overwritten (and counted
+ * in dropped()) so memory stays bounded on long runs while the most
+ * recent — usually most interesting — window survives.
+ *
+ * Counter samples are coalesced: per counter, samples closer together
+ * than Options::intervalTicks are skipped. This is the mechanism
+ * behind `--stats-interval=<ticks>` time-series tracks.
+ *
+ * The probe also acts as a registry of named stats::Distributions so
+ * instrumented components can record latency/size histograms that end
+ * up in the machine-readable run report.
+ */
+
+#ifndef DISTDA_SIM_PROBE_HH
+#define DISTDA_SIM_PROBE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/stats.hh"
+#include "src/sim/ticks.hh"
+
+namespace distda::sim
+{
+
+class JsonWriter;
+
+/**
+ * Per-run timeline recorder. Not thread-safe: each run (each sweep
+ * job) owns its own probe, which matches the one-thread-per-job sweep
+ * execution model.
+ */
+class Probe
+{
+  public:
+    struct Options
+    {
+        /** Minimum spacing between samples of one counter track. */
+        Tick intervalTicks = 1'000'000; // 1 us of simulated time
+        /** Ring capacity in events; oldest overwritten beyond this. */
+        std::size_t capacity = 1u << 20;
+    };
+
+    Probe() = default;
+    explicit Probe(const Options &opts) : _opts(opts) {}
+
+    Probe(const Probe &) = delete;
+    Probe &operator=(const Probe &) = delete;
+
+    /**
+     * Register (or look up) the track for @p name under @p cluster.
+     * Idempotent on (cluster, name); returns a dense track id.
+     */
+    int addTrack(int cluster, const std::string &name);
+
+    /**
+     * Register (or look up) a counter series on @p track. Counter ids
+     * share the track id space so one track can carry several series.
+     */
+    int addCounter(int track, const std::string &name);
+
+    /**
+     * Record a complete span [start, end) on @p track. @p name MUST
+     * point to static-storage text (a literal); the probe stores the
+     * pointer, not a copy.
+     */
+    void span(int track, const char *name, Tick start, Tick end)
+    {
+        if (end > start)
+            record(Event{name, start, end - start, track, Kind::Span});
+    }
+
+    /** Record a zero-duration instant on @p track (static @p name). */
+    void instant(int track, const char *name, Tick at)
+    {
+        record(Event{name, at, 0, track, Kind::Instant});
+    }
+
+    /**
+     * Record a counter sample; dropped when closer than
+     * Options::intervalTicks to the previous kept sample of @p
+     * counter_id. Pass @p force to bypass coalescing (e.g. for the
+     * final sample of a run).
+     */
+    void counter(int counter_id, Tick at, double value,
+                 bool force = false);
+
+    /**
+     * Register (or look up) a named distribution. References remain
+     * stable for the probe's lifetime.
+     */
+    stats::Distribution &addDist(const std::string &name, double lo,
+                                 double hi, std::size_t num_buckets);
+
+    /** Re-register every distribution under @p g for reporting. */
+    void exportDists(stats::Group &g) const;
+
+    /** Events currently held (post-wrap this equals capacity). */
+    std::size_t eventCount() const
+    {
+        return _ring.size();
+    }
+
+    /** Events lost to ring wrap-around. */
+    std::uint64_t dropped() const { return _dropped; }
+
+    std::size_t numTracks() const { return _tracks.size(); }
+
+    /** Serialize as a Chrome trace-event document into @p w. */
+    void writeChromeTrace(JsonWriter &w) const;
+
+    /** Serialize and write to @p path; false (with warn) on error. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    enum class Kind : std::uint8_t { Span, Instant, Counter };
+
+    struct Event
+    {
+        const char *name; // static storage; counters index _counters
+        Tick start;
+        Tick dur; // span length, or bit-cast counter value
+        std::int32_t track;
+        Kind kind;
+    };
+
+    struct Track
+    {
+        std::string name;
+        int cluster;
+    };
+
+    struct Counter
+    {
+        std::string name;
+        int track;
+        Tick lastSample = 0;
+        bool sampled = false;
+    };
+
+    void record(const Event &ev);
+
+    Options _opts;
+    std::vector<Event> _ring;
+    std::size_t _next = 0;
+    std::uint64_t _dropped = 0;
+    std::vector<Track> _tracks;
+    std::map<std::pair<int, std::string>, int> _trackIds;
+    std::vector<Counter> _counters;
+    // std::map keeps references stable as distributions are added.
+    std::map<std::string, stats::Distribution> _dists;
+};
+
+} // namespace distda::sim
+
+#endif // DISTDA_SIM_PROBE_HH

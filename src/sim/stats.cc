@@ -1,14 +1,132 @@
 #include "src/sim/stats.hh"
 
+#include <cmath>
+
+#include "src/sim/json.hh"
 #include "src/sim/logging.hh"
 
 namespace distda::stats
 {
 
+Distribution::Distribution(double lo, double hi, std::size_t num_buckets)
+    : _lo(lo), _hi(hi), _buckets(num_buckets == 0 ? 1 : num_buckets, 0.0)
+{
+    DISTDA_ASSERT(hi > lo, "distribution range [%g, %g) is empty", lo, hi);
+}
+
+void
+Distribution::sample(double v, double weight)
+{
+    if (_count == 0.0) {
+        _min = v;
+        _max = v;
+    } else {
+        if (v < _min)
+            _min = v;
+        if (v > _max)
+            _max = v;
+    }
+    _count += weight;
+    _sum += v * weight;
+    _sumSq += v * v * weight;
+    if (v < _lo) {
+        _underflow += weight;
+    } else if (v >= _hi) {
+        _overflow += weight;
+    } else {
+        const auto idx = static_cast<std::size_t>(
+            (v - _lo) / (_hi - _lo) * static_cast<double>(_buckets.size()));
+        _buckets[idx < _buckets.size() ? idx : _buckets.size() - 1] += weight;
+    }
+}
+
+double
+Distribution::stdev() const
+{
+    if (_count <= 0.0)
+        return 0.0;
+    const double m = _sum / _count;
+    const double var = _sumSq / _count - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    for (double &b : _buckets)
+        b = 0.0;
+    _count = _sum = _sumSq = 0.0;
+    _min = _max = 0.0;
+    _underflow = _overflow = 0.0;
+}
+
+void
+Distribution::jsonDump(sim::JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("type").value("distribution");
+    w.key("count").value(_count);
+    w.key("sum").value(_sum);
+    w.key("mean").value(mean());
+    w.key("stdev").value(stdev());
+    w.key("min").value(min());
+    w.key("max").value(max());
+    w.key("underflow").value(_underflow);
+    w.key("overflow").value(_overflow);
+    w.key("bucket_lo").value(_lo);
+    w.key("bucket_hi").value(_hi);
+    w.key("buckets").beginArray();
+    for (const double b : _buckets)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+void
+Group::checkFresh(const std::string &stat_name) const
+{
+    // One name space across scalars, distributions and formulas: a
+    // cross-kind collision would be just as ambiguous in a flattened
+    // dump as a same-kind one.
+    if (_scalars.count(stat_name) || _distributions.count(stat_name) ||
+        _formulas.count(stat_name)) {
+        panic("duplicate stat '%s' in group '%s'", stat_name.c_str(),
+              _name.c_str());
+    }
+}
+
 Scalar &
 Group::add(const std::string &stat_name)
 {
+    checkFresh(stat_name);
     return _scalars[stat_name];
+}
+
+Distribution &
+Group::addDistribution(const std::string &stat_name, double lo, double hi,
+                       std::size_t num_buckets)
+{
+    checkFresh(stat_name);
+    return _distributions.try_emplace(stat_name, lo, hi, num_buckets)
+        .first->second;
+}
+
+void
+Group::addFormula(const std::string &stat_name, std::function<double()> fn)
+{
+    checkFresh(stat_name);
+    _formulas.try_emplace(stat_name, Formula(std::move(fn)));
+}
+
+void
+Group::addChild(Group *child)
+{
+    for (const Group *existing : _children) {
+        if (existing->name() == child->name())
+            panic("duplicate child group '%s' in group '%s'",
+                  child->name().c_str(), _name.c_str());
+    }
+    _children.push_back(child);
 }
 
 const Scalar &
@@ -21,11 +139,23 @@ Group::get(const std::string &stat_name) const
     return it->second;
 }
 
+const Distribution &
+Group::getDistribution(const std::string &stat_name) const
+{
+    auto it = _distributions.find(stat_name);
+    if (it == _distributions.end())
+        panic("distribution '%s' not found in group '%s'",
+              stat_name.c_str(), _name.c_str());
+    return it->second;
+}
+
 double
 Group::value(const std::string &path) const
 {
     auto dot = path.find('.');
     if (dot == std::string::npos) {
+        if (auto it = _formulas.find(path); it != _formulas.end())
+            return it->second.value();
         return get(path).value();
     }
     std::string head = path.substr(0, dot);
@@ -43,6 +173,16 @@ Group::dump() const
     std::vector<std::pair<std::string, double>> out;
     for (const auto &[k, v] : _scalars)
         out.emplace_back(_name + "." + k, v.value());
+    for (const auto &[k, v] : _formulas)
+        out.emplace_back(_name + "." + k, v.value());
+    for (const auto &[k, d] : _distributions) {
+        const std::string base = _name + "." + k;
+        out.emplace_back(base + ".count", d.count());
+        out.emplace_back(base + ".mean", d.mean());
+        out.emplace_back(base + ".stdev", d.stdev());
+        out.emplace_back(base + ".min", d.min());
+        out.emplace_back(base + ".max", d.max());
+    }
     for (const Group *child : _children) {
         for (auto &[k, v] : child->dump())
             out.emplace_back(_name + "." + k, v);
@@ -55,8 +195,37 @@ Group::resetAll()
 {
     for (auto &[k, v] : _scalars)
         v.reset();
+    for (auto &[k, d] : _distributions)
+        d.reset();
     for (Group *child : _children)
         child->resetAll();
+}
+
+void
+Group::jsonDump(sim::JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[k, v] : _scalars)
+        w.key(k).value(v.value());
+    for (const auto &[k, f] : _formulas)
+        w.key(k).value(f.value());
+    for (const auto &[k, d] : _distributions) {
+        w.key(k);
+        d.jsonDump(w);
+    }
+    for (const Group *child : _children) {
+        w.key(child->name());
+        child->jsonDump(w);
+    }
+    w.endObject();
+}
+
+std::string
+Group::jsonString() const
+{
+    sim::JsonWriter w;
+    jsonDump(w);
+    return w.str();
 }
 
 } // namespace distda::stats

@@ -1,17 +1,25 @@
 /**
  * @file
  * A lightweight named-statistics framework. Components own a
- * stats::Group and register scalar counters with it; drivers collect
- * values by name for the table/figure reports.
+ * stats::Group and register scalar counters, fixed-bucket
+ * distributions and derived formulas with it; drivers collect values
+ * by name for the table/figure reports and dump whole Group trees as
+ * JSON for the machine-readable run reports.
  */
 
 #ifndef DISTDA_SIM_STATS_HH
 #define DISTDA_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
+
+namespace distda::sim
+{
+class JsonWriter;
+} // namespace distda::sim
 
 namespace distda::stats
 {
@@ -34,8 +42,80 @@ class Scalar
 };
 
 /**
- * A named collection of scalar statistics. Groups nest: a parent group
- * sees child statistics with dotted names.
+ * A fixed-bucket histogram over [lo, hi) with running count, sum,
+ * min, max and sum-of-squares, so mean and standard deviation come
+ * for free. Samples outside the range land in underflow/overflow
+ * counters rather than being dropped, so count() is always the true
+ * sample count.
+ */
+class Distribution
+{
+  public:
+    Distribution() : Distribution(0.0, 1.0, 1) {}
+    Distribution(double lo, double hi, std::size_t num_buckets);
+
+    /** Record @p v with optional sample weight. */
+    void sample(double v, double weight = 1.0);
+
+    double count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count > 0.0 ? _sum / _count : 0.0; }
+    double stdev() const;
+    /** Smallest/largest sampled value (0 when empty). */
+    double min() const { return _count > 0.0 ? _min : 0.0; }
+    double max() const { return _count > 0.0 ? _max : 0.0; }
+    double underflow() const { return _underflow; }
+    double overflow() const { return _overflow; }
+
+    double bucketLo() const { return _lo; }
+    double bucketHi() const { return _hi; }
+    std::size_t numBuckets() const { return _buckets.size(); }
+    double bucketCount(std::size_t i) const { return _buckets[i]; }
+    double bucketWidth() const
+    {
+        return (_hi - _lo) / static_cast<double>(_buckets.size());
+    }
+
+    void reset();
+
+    /** Emit this distribution as a JSON object value. */
+    void jsonDump(sim::JsonWriter &w) const;
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<double> _buckets;
+    double _count = 0.0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _underflow = 0.0;
+    double _overflow = 0.0;
+};
+
+/**
+ * A derived statistic evaluated on demand — the stats analogue of
+ * gem5's Formula. The callable reads other stats (or component state)
+ * when the group is dumped, so derived values never go stale.
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+    explicit Formula(std::function<double()> fn) : _fn(std::move(fn)) {}
+
+    double value() const { return _fn ? _fn() : 0.0; }
+
+  private:
+    std::function<double()> _fn;
+};
+
+/**
+ * A named collection of statistics. Groups nest: a parent group sees
+ * child statistics with dotted names. Registering the same stat or
+ * child name twice panics, so flattened dumps and JSON reports can
+ * never silently contain ambiguous keys.
  */
 class Group
 {
@@ -50,24 +130,59 @@ class Group
     /** Register a scalar under @p stat_name; returns a reference. */
     Scalar &add(const std::string &stat_name);
 
+    /** Register a fixed-bucket distribution; returns a reference. */
+    Distribution &addDistribution(const std::string &stat_name,
+                                  double lo = 0.0, double hi = 1.0,
+                                  std::size_t num_buckets = 1);
+
+    /** Register a derived statistic evaluated at dump time. */
+    void addFormula(const std::string &stat_name,
+                    std::function<double()> fn);
+
     /** Attach @p child so its stats appear as "<child>.<stat>". */
-    void addChild(Group *child) { _children.push_back(child); }
+    void addChild(Group *child);
 
     /** Look up a scalar by local name; panics when missing. */
     const Scalar &get(const std::string &stat_name) const;
 
-    /** Value lookup that walks children with dotted paths. */
+    /** Look up a distribution by local name; panics when missing. */
+    const Distribution &getDistribution(
+        const std::string &stat_name) const;
+
+    /**
+     * Value lookup that walks children with dotted paths. Resolves
+     * scalars and formulas; panics when the path names neither.
+     */
     double value(const std::string &path) const;
 
-    /** Flatten this group and children into (name, value) pairs. */
+    /**
+     * Flatten this group and children into (name, value) pairs.
+     * Formulas are evaluated; distributions contribute their summary
+     * moments as "<name>.count" / ".mean" / ".stdev" / ".min" /
+     * ".max" entries.
+     */
     std::vector<std::pair<std::string, double>> dump() const;
 
-    /** Reset every scalar in this group and its children. */
+    /** Reset every statistic in this group and its children. */
     void resetAll();
 
+    /**
+     * Emit this group (scalars, formulas, distributions, children) as
+     * one JSON object value into @p w.
+     */
+    void jsonDump(sim::JsonWriter &w) const;
+
+    /** The whole tree as a standalone JSON document. */
+    std::string jsonString() const;
+
   private:
+    /** Panic unless @p stat_name is unused by every stat kind. */
+    void checkFresh(const std::string &stat_name) const;
+
     std::string _name;
     std::map<std::string, Scalar> _scalars;
+    std::map<std::string, Distribution> _distributions;
+    std::map<std::string, Formula> _formulas;
     std::vector<Group *> _children;
 };
 

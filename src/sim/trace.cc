@@ -67,7 +67,7 @@ enableFromList(const std::string &list)
         bool found = false;
         for (std::size_t i = 0;
              i < static_cast<std::size_t>(Flag::NumFlags); ++i) {
-            if (name == flagName(static_cast<Flag>(i))) {
+            if (name == "all" || name == flagName(static_cast<Flag>(i))) {
                 flags[i].store(true, std::memory_order_relaxed);
                 found = true;
             }

@@ -41,7 +41,11 @@ void setEnabled(Flag f, bool enabled);
 /** True when @p f is enabled. */
 bool enabled(Flag f);
 
-/** Enable flags from a comma-separated list ("Stream,Actor"). */
+/**
+ * Enable flags from a comma-separated list ("Stream,Actor"). The
+ * keyword "all" enables every flag; unknown names warn and are
+ * otherwise ignored.
+ */
 void enableFromList(const std::string &list);
 
 /**

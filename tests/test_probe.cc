@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the timeline probe: track/counter/distribution registries,
+ * ring-buffer bounds, counter coalescing, Chrome trace-event export,
+ * and an end-to-end quick run proving the driver wires the probe
+ * through every instrumented subsystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/driver/runner.hh"
+#include "src/sim/json.hh"
+#include "src/sim/probe.hh"
+
+using namespace distda;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST(Probe, TrackAndCounterRegistriesAreIdempotent)
+{
+    sim::Probe p;
+    const int t0 = p.addTrack(0, "part0");
+    const int t1 = p.addTrack(1, "part0"); // same name, other cluster
+    EXPECT_NE(t0, t1);
+    EXPECT_EQ(p.addTrack(0, "part0"), t0);
+    EXPECT_EQ(p.numTracks(), 2u);
+
+    const int c0 = p.addCounter(t0, "occupancy");
+    EXPECT_EQ(p.addCounter(t0, "occupancy"), c0);
+    EXPECT_NE(p.addCounter(t1, "occupancy"), c0);
+}
+
+TEST(Probe, SpansAndInstantsAreRecorded)
+{
+    sim::Probe p;
+    const int t = p.addTrack(0, "unit");
+    p.span(t, "work", 100, 200);
+    p.span(t, "empty", 100, 100); // zero-length: not recorded
+    p.instant(t, "mark", 150);
+    EXPECT_EQ(p.eventCount(), 2u);
+    EXPECT_EQ(p.dropped(), 0u);
+}
+
+TEST(Probe, CounterSamplesCoalesce)
+{
+    sim::Probe::Options opts;
+    opts.intervalTicks = 1000;
+    sim::Probe p(opts);
+    const int c = p.addCounter(p.addTrack(0, "ch"), "occ");
+    p.counter(c, 0, 1.0);
+    p.counter(c, 10, 2.0);   // < interval after the last kept sample
+    p.counter(c, 999, 3.0);  // still inside
+    p.counter(c, 1000, 4.0); // kept
+    p.counter(c, 1001, 5.0, /*force=*/true);
+    EXPECT_EQ(p.eventCount(), 3u);
+}
+
+TEST(Probe, RingWrapsAndCountsDrops)
+{
+    sim::Probe::Options opts;
+    opts.capacity = 8;
+    sim::Probe p(opts);
+    const int t = p.addTrack(0, "unit");
+    for (sim::Tick i = 0; i < 20; ++i)
+        p.instant(t, "tick", i * 1'000'000); // i µs
+    EXPECT_EQ(p.eventCount(), 8u);
+    EXPECT_EQ(p.dropped(), 12u);
+
+    // The surviving window is the most recent one, oldest first.
+    sim::JsonWriter w;
+    p.writeChromeTrace(w);
+    const std::string &json = w.str();
+    EXPECT_NE(json.find("\"droppedEvents\":12"), std::string::npos);
+    EXPECT_EQ(json.find("\"ts\":11"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":12"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":19"), std::string::npos);
+}
+
+TEST(Probe, ChromeTraceExportShape)
+{
+    sim::Probe p;
+    const int t = p.addTrack(3, "part1");
+    const int c = p.addCounter(t, "occupancy");
+    p.span(t, "compute", 1'000'000, 3'000'000);
+    p.instant(t, "finished", 3'000'000);
+    p.counter(c, 2'000'000, 42.0);
+
+    sim::JsonWriter w;
+    p.writeChromeTrace(w);
+    const std::string &json = w.str();
+
+    // Metadata: cluster 3 is a process, the track a named thread.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"cluster3\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"part1\""), std::string::npos);
+    // The span: complete event, µs timestamps (1e6 ticks = 1 µs).
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2"), std::string::npos);
+    // Instant and counter events.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":42"), std::string::npos);
+}
+
+TEST(Probe, DistributionRegistryIsIdempotentAndExports)
+{
+    sim::Probe p;
+    stats::Distribution &d = p.addDist("lat", 0.0, 100.0, 10);
+    d.sample(10.0);
+    stats::Distribution &again = p.addDist("lat", 0.0, 1.0, 1);
+    EXPECT_EQ(&d, &again);
+    again.sample(30.0);
+
+    stats::Group g("dist");
+    p.exportDists(g);
+    const stats::Distribution &out = g.getDistribution("lat");
+    EXPECT_DOUBLE_EQ(out.count(), 2.0);
+    EXPECT_DOUBLE_EQ(out.mean(), 20.0);
+}
+
+TEST(Probe, EndToEndQuickRunCoversSubsystems)
+{
+    const std::string dir = testing::TempDir();
+    const std::string timeline = dir + "distda_probe_timeline.json";
+    const std::string stats_json = dir + "distda_probe_stats.json";
+
+    driver::RunConfig cfg;
+    cfg.model = driver::ArchModel::DistDA_F;
+    driver::RunOptions opts;
+    opts.scale = 0.25;
+    opts.obs.timelinePath = timeline;
+    opts.obs.statsJsonPath = stats_json;
+
+    const driver::Metrics m = driver::runWorkload("pr", cfg, opts);
+    EXPECT_TRUE(m.validated);
+
+    const std::string trace = slurp(timeline);
+    ASSERT_FALSE(trace.empty());
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    // Spans from at least four subsystems: actors, access units,
+    // caches and the NoC (plus the host-side invoke track).
+    EXPECT_NE(trace.find("\"compute\""), std::string::npos);
+    EXPECT_NE(trace.find("\"fill\""), std::string::npos);
+    EXPECT_NE(trace.find("\"miss\""), std::string::npos);
+    EXPECT_NE(trace.find("\"acc_data\""), std::string::npos);
+    EXPECT_NE(trace.find("\"invoke\""), std::string::npos);
+
+    const std::string report = slurp(stats_json);
+    ASSERT_FALSE(report.empty());
+    EXPECT_NE(report.find("\"workload\":\"pr\""), std::string::npos);
+    EXPECT_NE(report.find("\"type\":\"distribution\""),
+              std::string::npos);
+    EXPECT_NE(report.find("\"noc.packet_bytes\""), std::string::npos);
+    EXPECT_NE(report.find("\"actor.slice_insts\""), std::string::npos);
+
+    std::remove(timeline.c_str());
+    std::remove(stats_json.c_str());
+}

@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include "death_helpers.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/json.hh"
 #include "src/sim/rng.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/ticks.hh"
 #include "src/sim/trace.hh"
 
+#include <cmath>
 #include <set>
 
 using namespace distda;
@@ -208,4 +211,128 @@ TEST(Trace, FlagNamesUnique)
         names.insert(trace::flagName(static_cast<trace::Flag>(i)));
     EXPECT_EQ(names.size(),
               static_cast<std::size_t>(trace::Flag::NumFlags));
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution d(0.0, 10.0, 5);
+    for (double v : {1.0, 3.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.count(), 5.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 25.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    // Population stdev of {1,3,5,7,9} is sqrt(8).
+    EXPECT_NEAR(d.stdev(), std::sqrt(8.0), 1e-12);
+    ASSERT_EQ(d.numBuckets(), 5u);
+    for (std::size_t i = 0; i < d.numBuckets(); ++i)
+        EXPECT_DOUBLE_EQ(d.bucketCount(i), 1.0);
+    EXPECT_DOUBLE_EQ(d.underflow(), 0.0);
+    EXPECT_DOUBLE_EQ(d.overflow(), 0.0);
+}
+
+TEST(Stats, DistributionOutOfRangeAndWeights)
+{
+    stats::Distribution d(0.0, 4.0, 4);
+    d.sample(-1.0);      // below lo
+    d.sample(4.0);       // hi is exclusive
+    d.sample(100.0);
+    d.sample(1.5, 3.0);  // weighted
+    EXPECT_DOUBLE_EQ(d.underflow(), 1.0);
+    EXPECT_DOUBLE_EQ(d.overflow(), 2.0);
+    EXPECT_DOUBLE_EQ(d.count(), 6.0); // 1 + 2 + weight 3
+    EXPECT_DOUBLE_EQ(d.bucketCount(1), 3.0);
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    d.reset();
+    EXPECT_DOUBLE_EQ(d.count(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.bucketCount(1), 0.0);
+}
+
+TEST(Stats, FormulaEvaluatesOnDemand)
+{
+    stats::Group g("eng");
+    stats::Scalar &insts = g.add("insts");
+    stats::Scalar &cycles = g.add("cycles");
+    g.addFormula("ipc", [&insts, &cycles] {
+        return cycles.value() > 0.0 ? insts.value() / cycles.value()
+                                    : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(g.value("ipc"), 0.0);
+    insts = 30.0;
+    cycles = 10.0;
+    EXPECT_DOUBLE_EQ(g.value("ipc"), 3.0);
+}
+
+TEST(Stats, DuplicateNamesPanic)
+{
+    stats::Group g("dup");
+    g.add("x");
+    EXPECT_PANIC(g.add("x"), "duplicate stat");
+    g.addDistribution("d");
+    EXPECT_PANIC(g.addDistribution("d"), "duplicate stat");
+    EXPECT_PANIC(g.addFormula("x", [] { return 0.0; }),
+                 "duplicate stat");
+    stats::Group c1("child");
+    stats::Group c2("child");
+    g.addChild(&c1);
+    EXPECT_PANIC(g.addChild(&c2), "duplicate child");
+}
+
+TEST(Stats, ValueMissingPathPanics)
+{
+    stats::Group parent("sys");
+    stats::Group child("noc");
+    child.add("bytes") = 7.0;
+    parent.addChild(&child);
+    EXPECT_DOUBLE_EQ(parent.value("noc.bytes"), 7.0);
+    EXPECT_PANIC((void)parent.value("mem.bytes"), "has no child");
+    EXPECT_PANIC((void)parent.value("noc.nope"), "not found");
+}
+
+TEST(Stats, JsonDumpRoundTrips)
+{
+    stats::Group g("run");
+    g.add("ticks") = 42.0;
+    g.addFormula("twice", [] { return 84.0; });
+    stats::Distribution &d = g.addDistribution("lat", 0.0, 8.0, 2);
+    d.sample(1.0);
+    d.sample(5.0);
+    const std::string text = g.jsonString();
+    EXPECT_NE(text.find("\"ticks\":42"), std::string::npos);
+    EXPECT_NE(text.find("\"twice\":84"), std::string::npos);
+    EXPECT_NE(text.find("\"type\":\"distribution\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(text.find("\"mean\":3"), std::string::npos);
+}
+
+TEST(Trace, EnableAllKeyword)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(trace::Flag::NumFlags); ++i)
+        trace::setEnabled(static_cast<trace::Flag>(i), false);
+    trace::enableFromList("all");
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(trace::Flag::NumFlags); ++i)
+        EXPECT_TRUE(trace::enabled(static_cast<trace::Flag>(i)))
+            << trace::flagName(static_cast<trace::Flag>(i));
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(trace::Flag::NumFlags); ++i)
+        trace::setEnabled(static_cast<trace::Flag>(i), false);
+}
+
+TEST(Trace, UnknownAndEmptyListsAreNoOps)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(trace::Flag::NumFlags); ++i)
+        trace::setEnabled(static_cast<trace::Flag>(i), false);
+    trace::enableFromList("");           // empty list: nothing happens
+    trace::enableFromList("NoSuchFlag"); // warns, enables nothing
+    trace::enableFromList(",,");         // empty elements skipped
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(trace::Flag::NumFlags); ++i)
+        EXPECT_FALSE(trace::enabled(static_cast<trace::Flag>(i)));
 }

@@ -11,6 +11,8 @@
  *              [--no-combining] [--no-retention]
  *              [--buffer=<bytes>] [--channel=<elems>]
  *              [--verify[=warn|error|off]] [--verify-only]
+ *              [--timeline=<file>] [--stats-json=<file>]
+ *              [--stats-interval=<ticks>] [--report-dir=<dir>]
  *
  * --jobs=<n> runs the sweep's independent simulations on n worker
  * threads (default: DISTDA_JOBS, else hardware_concurrency). Results
@@ -22,16 +24,31 @@
  * prints all verifier diagnostics and exits without simulating;
  * the exit status is nonzero iff any error-severity finding exists.
  *
+ * Observability (all off by default, zero overhead when off):
+ * --timeline= writes a Chrome trace-event JSON timeline (open in
+ * Perfetto / chrome://tracing) and --stats-json= a machine-readable
+ * run report; both are single-run flags — a multi-job sweep must use
+ * --report-dir=<dir>, which writes one pair of files per job into the
+ * directory instead. --stats-interval= sets the counter-sampling
+ * coalescing interval in simulated ticks (picoseconds; default 1e6).
+ * Reports go to files only: stdout (CSV or human records) is
+ * byte-identical with or without these flags.
+ *
  * Examples:
  *   distda_run --workload=fdt --config=Dist-DA-F
  *   distda_run --workload=bfs --config=all --csv
  *   distda_run --workload=all --config=all --csv --jobs=8
  *   distda_run --workload=cho --config=Dist-DA-F --verify-only
+ *   distda_run --workload=pr --config=Dist-DA-F --quick \
+ *       --timeline=pr.timeline.json --stats-json=pr.stats.json
+ *   distda_run --workload=all --config=all --quick --csv \
+ *       --report-dir=reports
  */
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -179,6 +196,15 @@ main(int argc, char **argv)
             cfg.verifyPlans = parseVerifyMode(arg.substr(9));
         } else if (arg == "--verify-only") {
             verify_only = true;
+        } else if (arg.rfind("--timeline=", 0) == 0) {
+            opts.obs.timelinePath = arg.substr(11);
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            opts.obs.statsJsonPath = arg.substr(13);
+        } else if (arg.rfind("--stats-interval=", 0) == 0) {
+            opts.obs.statsIntervalTicks =
+                static_cast<sim::Tick>(std::atoll(arg.c_str() + 17));
+        } else if (arg.rfind("--report-dir=", 0) == 0) {
+            sweep_opts.reportDir = arg.substr(13);
         } else {
             fatal("unknown flag '%s'", arg.c_str());
         }
@@ -220,6 +246,14 @@ main(int argc, char **argv)
             job.options = opts;
             jobs.push_back(job);
         }
+    }
+
+    // Single-file observability outputs cannot serve a multi-run
+    // sweep — the jobs would race on one path; --report-dir= fans the
+    // reports out per job instead.
+    if (jobs.size() > 1 && opts.obs.enabled()) {
+        fatal("--timeline=/--stats-json= name single files; use "
+              "--report-dir=<dir> for a %zu-job sweep", jobs.size());
     }
 
     // Progress/ETA on stderr for interactive multi-run sweeps; never
