@@ -34,6 +34,10 @@ done
 echo "===== tests"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
+echo "===== differential fuzz smoke (fixed seed + corpus replay)"
+"$BUILD"/tools/distda_fuzz --seed=1 --runs=200 --jobs="$JOBS" --quiet
+"$BUILD"/tools/distda_fuzz --corpus=tests/corpus --quiet
+
 echo "===== parallel sweep determinism (--jobs=1 vs --jobs=$JOBS)"
 "$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
     --jobs=1 >"$BUILD/sweep-serial.csv" 2>/dev/null
@@ -99,6 +103,11 @@ for SAN in address thread; do
     cmake --build "$BUILD-$SAN" -j "$(nproc)"
     ctest --test-dir "$BUILD-$SAN" --output-on-failure -j "$(nproc)"
 done
+
+echo "===== differential fuzz smoke under address sanitizer"
+"$BUILD-address"/tools/distda_fuzz --seed=1 --runs=200 \
+    --jobs="$JOBS" --quiet
+"$BUILD-address"/tools/distda_fuzz --corpus=tests/corpus --quiet
 
 echo "===== TSan parallel sweep smoke"
 "$BUILD-thread"/tools/distda_run --workload=all --config=all --quick \

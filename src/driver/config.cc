@@ -1,9 +1,42 @@
 #include "src/driver/config.hh"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "src/sim/logging.hh"
 
 namespace distda::driver
 {
+
+std::int64_t
+parseInt(const std::string &text, const char *what)
+{
+    if (text.empty())
+        fatal("%s: empty value where an integer is required", what);
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("%s: '%s' is not an integer", what, text.c_str());
+    if (errno == ERANGE)
+        fatal("%s: '%s' out of range", what, text.c_str());
+    return v;
+}
+
+double
+parseDouble(const std::string &text, const char *what)
+{
+    if (text.empty())
+        fatal("%s: empty value where a number is required", what);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal("%s: '%s' is not a number", what, text.c_str());
+    if (errno == ERANGE)
+        fatal("%s: '%s' out of range", what, text.c_str());
+    return v;
+}
 
 const char *
 archModelName(ArchModel m)
@@ -71,6 +104,7 @@ RunConfig::engineConfig() const
                      ? cgra::CgraParams::large()
                      : cgra::CgraParams{};
     cfg.retainBuffers = !disableRetention;
+    cfg.predecode = predecodeOverride;
     if (bufferBytesOverride)
         cfg.clusterBufferBytes = bufferBytesOverride;
     if (channelCapacityOverride)

@@ -15,6 +15,7 @@
 #ifndef DISTDA_DRIVER_CONFIG_HH
 #define DISTDA_DRIVER_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,15 @@ enum class ArchModel
 
 const char *archModelName(ArchModel m);
 
+/**
+ * Strict numeric parsing for CLI flag values. Unlike atoi/atof these
+ * are hard errors on empty strings, non-numeric input, trailing
+ * garbage, and out-of-range values: a typo'd `--runs=1O0` must abort
+ * with a diagnostic naming @p what, never silently become zero.
+ */
+std::int64_t parseInt(const std::string &text, const char *what);
+double parseDouble(const std::string &text, const char *what);
+
 /** All models evaluated in the headline figures, in plot order. */
 std::vector<ArchModel> headlineModels();
 
@@ -57,6 +67,14 @@ struct RunConfig
 
     /** Static verification of compiled plans (src/verify). */
     compiler::VerifyMode verifyPlans = compiler::VerifyMode::Error;
+
+    /**
+     * Actor predecode control: -1 follows the process-wide
+     * engine::setPredecodeEnabled toggle, 0 forces the microcode
+     * interpreter, 1 forces the predecoded stream. Differential
+     * jobs running both paths concurrently set this per run.
+     */
+    int predecodeOverride = -1;
 
     bool usesAccelerator() const { return model != ArchModel::OoO; }
     bool distributed() const

@@ -121,7 +121,10 @@ PartitionActor::PartitionActor(
     _portInstWeight = config.instEnergyScale * 0.4;
     _ivPtr = prog.ivReg != compiler::noReg ? &_regs[prog.ivReg]
                                            : nullptr;
-    if (predecodeEnabled()) {
+    const bool use_predecode = config.predecode < 0
+                                   ? predecodeEnabled()
+                                   : config.predecode != 0;
+    if (use_predecode) {
         _exec.reserve(prog.insts.size());
         for (const MicroInst &inst : prog.insts)
             _exec.push_back(predecode(inst));

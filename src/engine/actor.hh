@@ -73,6 +73,8 @@ class PartitionActor
         sim::Tick hideTicks = 0;
         energy::Component energyComp = energy::Component::IOCore;
         sim::Tick startTick = 0;
+        /** -1: follow the global toggle; 0/1: force off/on. */
+        int predecode = -1;
         /**
          * Observability wiring (null when off). Span emission is
          * batched per run() slice — one compute/mem-blocked/

@@ -111,6 +111,22 @@ class MemBackend
         }
     }
 
+    /**
+     * Byte-exact snapshot of [addr, addr+len): the differential fuzz
+     * harness compares final memory-object state across backends with
+     * memcmp rather than element-typed reads, so narrowing or padding
+     * bugs cannot hide behind a lossy accessor.
+     */
+    void
+    copyOut(mem::Addr addr, void *dst, std::uint64_t len) const
+    {
+        DISTDA_ASSERT(addr >= _base && addr + len <= _base + _data.size(),
+                      "backend copyOut [0x%llx, +%llu) outside arena",
+                      static_cast<unsigned long long>(addr),
+                      static_cast<unsigned long long>(len));
+        std::memcpy(dst, _data.data() + (addr - _base), len);
+    }
+
   private:
     std::uint8_t *
     at(mem::Addr addr, std::uint32_t elem_bytes)

@@ -374,6 +374,7 @@ DataflowEngine::invoke(const std::vector<ArrayRef> &bindings,
             ac.hideTicks = depth * cycle;
         }
         ac.startTick = start_tick;
+        ac.predecode = _config.predecode;
         if (_config.probe) {
             ac.probe = _config.probe;
             ac.track = _config.probe->addTrack(
@@ -431,6 +432,24 @@ DataflowEngine::invoke(const std::vector<ArrayRef> &bindings,
                     all_done);
             }
         }
+    }
+
+    // Token conservation at quiescence: every dataflow channel must be
+    // closed by its producer and fully drained by its consumer — a
+    // leftover or missing token means partitions disagreed about the
+    // iteration space, which execution-time backpressure can mask.
+    for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+        const Channel &ch = *channels[ci];
+        DISTDA_ASSERT(ch.closed(),
+                      "kernel '%s': channel %d not closed at quiescence",
+                      kernel.name.c_str(), _plan.channels[ci].id);
+        DISTDA_ASSERT(ch.pushed() == ch.popped() && ch.empty(),
+                      "kernel '%s': channel %d tokens not conserved "
+                      "(pushed %llu, popped %llu, %zu in flight)",
+                      kernel.name.c_str(), _plan.channels[ci].id,
+                      static_cast<unsigned long long>(ch.pushed()),
+                      static_cast<unsigned long long>(ch.popped()),
+                      ch.occupancy());
     }
 
     if (_config.probe) {

@@ -1,0 +1,591 @@
+#include "src/fuzz/case.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/logging.hh"
+
+namespace distda::fuzz
+{
+
+using compiler::AccessDir;
+using compiler::Kernel;
+using compiler::MemObjectDecl;
+using compiler::Node;
+using compiler::NodeKind;
+using compiler::noNode;
+using compiler::OpCode;
+using compiler::PatternKind;
+using compiler::Word;
+
+namespace
+{
+
+constexpr const char *magic = "distda-fuzz-repro v1";
+
+const char *
+kindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::MemObject: return "memobject";
+      case NodeKind::Access: return "access";
+      case NodeKind::Compute: return "compute";
+      case NodeKind::IndVar: return "indvar";
+      case NodeKind::Param: return "param";
+      case NodeKind::ConstInt: return "constint";
+      case NodeKind::ConstFloat: return "constfloat";
+      case NodeKind::Carry: return "carry";
+      default: panic("bad node kind %d", static_cast<int>(k));
+    }
+}
+
+NodeKind
+kindFromName(const std::string &s)
+{
+    for (int k = 0; k <= static_cast<int>(NodeKind::Carry); ++k) {
+        if (s == kindName(static_cast<NodeKind>(k)))
+            return static_cast<NodeKind>(k);
+    }
+    fatal("repro: unknown node kind '%s'", s.c_str());
+}
+
+OpCode
+opFromName(const std::string &s)
+{
+    for (int o = 0; o <= static_cast<int>(OpCode::Mov); ++o) {
+        if (s == compiler::opName(static_cast<OpCode>(o)))
+            return static_cast<OpCode>(o);
+    }
+    fatal("repro: unknown opcode '%s'", s.c_str());
+}
+
+/** Names are labels only; keep them one whitespace-free token. */
+std::string
+sanitizeName(const std::string &name)
+{
+    if (name.empty())
+        return "-";
+    std::string out = name;
+    for (char &c : out) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            c = '_';
+    }
+    return out;
+}
+
+std::string
+readName(std::istringstream &in, const char *what)
+{
+    std::string s;
+    if (!(in >> s))
+        fatal("repro: missing %s", what);
+    return s == "-" ? std::string{} : s;
+}
+
+std::int64_t
+readI64(std::istringstream &in, const char *what)
+{
+    std::int64_t v;
+    if (!(in >> v))
+        fatal("repro: bad integer field %s", what);
+    return v;
+}
+
+std::uint64_t
+readU64(std::istringstream &in, const char *what)
+{
+    std::uint64_t v;
+    if (!(in >> v))
+        fatal("repro: bad unsigned field %s", what);
+    return v;
+}
+
+std::uint64_t
+readHex(std::istringstream &in, const char *what)
+{
+    std::string s;
+    if (!(in >> s))
+        fatal("repro: missing hex field %s", what);
+    std::uint64_t v = 0;
+    if (std::sscanf(s.c_str(), "0x%" SCNx64, &v) != 1)
+        fatal("repro: bad hex field %s: '%s'", what, s.c_str());
+    return v;
+}
+
+std::uint64_t
+wordBits(Word w)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &w, sizeof(u));
+    return u;
+}
+
+Word
+wordFromBits(std::uint64_t u)
+{
+    Word w;
+    std::memcpy(&w, &u, sizeof(w));
+    return w;
+}
+
+void
+writeNode(std::ostringstream &out, const Node &n)
+{
+    out << "node " << n.id << ' ' << kindName(n.kind) << ' ' << n.bits
+        << ' ' << n.objId << ' '
+        << (n.dir == AccessDir::Store ? 'S' : 'L') << ' '
+        << (n.pattern == PatternKind::Indirect ? 'I' : 'A') << ' '
+        << n.affine.constBase << ' ' << n.affine.ivCoeff << ' '
+        << n.affine.paramCoeffs.size();
+    for (std::int64_t c : n.affine.paramCoeffs)
+        out << ' ' << c;
+    char hex[2][32];
+    std::snprintf(hex[0], sizeof(hex[0]), "0x%016" PRIx64,
+                  wordBits(n.imm));
+    std::snprintf(hex[1], sizeof(hex[1]), "0x%016" PRIx64,
+                  wordBits(n.carryInit));
+    out << ' ' << n.addrInput << ' ' << n.valueInput << ' '
+        << n.predInput << ' ' << (n.elemIsFloat ? 1 : 0) << ' '
+        << compiler::opName(n.op) << ' ' << n.inputA << ' ' << n.inputB
+        << ' ' << n.inputC << ' ' << n.paramIdx << ' ' << hex[0] << ' '
+        << hex[1] << ' ' << n.carryUpdate << ' '
+        << (n.carryIsFloat ? 1 : 0) << ' ' << sanitizeName(n.name)
+        << '\n';
+}
+
+Node
+readNode(std::istringstream &in)
+{
+    Node n;
+    n.id = static_cast<int>(readI64(in, "node id"));
+    std::string kind;
+    in >> kind;
+    n.kind = kindFromName(kind);
+    n.bits = static_cast<std::uint32_t>(readU64(in, "bits"));
+    n.objId = static_cast<int>(readI64(in, "objId"));
+    std::string dir, pat;
+    in >> dir >> pat;
+    if (dir != "L" && dir != "S")
+        fatal("repro: bad access dir '%s'", dir.c_str());
+    if (pat != "A" && pat != "I")
+        fatal("repro: bad access pattern '%s'", pat.c_str());
+    n.dir = dir == "S" ? AccessDir::Store : AccessDir::Load;
+    n.pattern = pat == "I" ? PatternKind::Indirect : PatternKind::Affine;
+    n.affine.constBase = readI64(in, "constBase");
+    n.affine.ivCoeff = readI64(in, "ivCoeff");
+    const std::uint64_t npc = readU64(in, "paramCoeff count");
+    if (npc > 64)
+        fatal("repro: absurd paramCoeff count %llu",
+              static_cast<unsigned long long>(npc));
+    n.affine.paramCoeffs.resize(npc);
+    for (std::uint64_t k = 0; k < npc; ++k)
+        n.affine.paramCoeffs[k] = readI64(in, "paramCoeff");
+    n.addrInput = static_cast<int>(readI64(in, "addrInput"));
+    n.valueInput = static_cast<int>(readI64(in, "valueInput"));
+    n.predInput = static_cast<int>(readI64(in, "predInput"));
+    n.elemIsFloat = readI64(in, "elemIsFloat") != 0;
+    std::string op;
+    in >> op;
+    n.op = opFromName(op);
+    n.inputA = static_cast<int>(readI64(in, "inputA"));
+    n.inputB = static_cast<int>(readI64(in, "inputB"));
+    n.inputC = static_cast<int>(readI64(in, "inputC"));
+    n.paramIdx = static_cast<int>(readI64(in, "paramIdx"));
+    n.imm = wordFromBits(readHex(in, "imm"));
+    n.carryInit = wordFromBits(readHex(in, "carryInit"));
+    n.carryUpdate = static_cast<int>(readI64(in, "carryUpdate"));
+    n.carryIsFloat = readI64(in, "carryIsFloat") != 0;
+    n.name = readName(in, "node name");
+    return n;
+}
+
+} // namespace
+
+std::int64_t
+FuzzCase::tripOf(const Invocation &inv) const
+{
+    const Kernel &k = kernels[static_cast<std::size_t>(inv.kernel)];
+    if (k.loop.extentParam < 0)
+        return k.loop.staticExtent;
+    const std::size_t p = static_cast<std::size_t>(k.loop.extentParam);
+    if (p >= inv.paramBits.size())
+        return 0;
+    return wordFromBits(inv.paramBits[p]).i;
+}
+
+std::string
+serializeCase(const FuzzCase &c)
+{
+    std::ostringstream out;
+    out << magic << '\n';
+    out << "seed " << c.seed << '\n';
+    out << "dataseed " << c.dataSeed << '\n';
+    for (const CaseObject &o : c.objects) {
+        out << "object " << o.elemCount << ' ' << o.elemBytes << ' '
+            << (o.isFloat ? 1 : 0) << ' ' << o.indexBound << ' '
+            << sanitizeName(o.name) << '\n';
+    }
+    for (const Kernel &k : c.kernels) {
+        out << "kernel " << sanitizeName(k.name) << '\n';
+        out << "loop " << k.loop.staticExtent << ' ' << k.loop.extentParam
+            << ' ' << sanitizeName(k.loop.name) << '\n';
+        for (const MemObjectDecl &o : k.objects) {
+            out << "kobject " << o.id << ' ' << o.elemCount << ' '
+                << o.elemBytes << ' ' << (o.isFloat ? 1 : 0) << ' '
+                << sanitizeName(o.name) << '\n';
+        }
+        for (const std::string &p : k.paramNames)
+            out << "kparam " << sanitizeName(p) << '\n';
+        for (const Node &n : k.nodes)
+            writeNode(out, n);
+        for (int r : k.resultCarries)
+            out << "result " << r << '\n';
+        out << "endkernel\n";
+    }
+    for (const Invocation &inv : c.invocations) {
+        out << "invoke " << inv.kernel << " objs " << inv.objects.size();
+        for (int o : inv.objects)
+            out << ' ' << o;
+        out << " params " << inv.paramBits.size();
+        for (std::uint64_t p : inv.paramBits) {
+            char hex[32];
+            std::snprintf(hex, sizeof(hex), "0x%016" PRIx64, p);
+            out << ' ' << hex;
+        }
+        out << '\n';
+    }
+    out << "end\n";
+    return out.str();
+}
+
+FuzzCase
+parseCase(const std::string &text)
+{
+    FuzzCase c;
+    std::istringstream lines(text);
+    std::string line;
+    if (!std::getline(lines, line) || line != magic)
+        fatal("repro: bad header '%s'", line.c_str());
+    Kernel *kernel = nullptr;
+    Kernel pending;
+    bool saw_end = false;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream in(line);
+        std::string tok;
+        in >> tok;
+        if (tok == "end") {
+            saw_end = true;
+            break;
+        }
+        if (tok == "seed") {
+            c.seed = readU64(in, "seed");
+        } else if (tok == "dataseed") {
+            c.dataSeed = readU64(in, "dataseed");
+        } else if (tok == "object") {
+            CaseObject o;
+            o.elemCount = readU64(in, "object count");
+            o.elemBytes = static_cast<std::uint32_t>(
+                readU64(in, "object bytes"));
+            o.isFloat = readI64(in, "object float") != 0;
+            o.indexBound = readU64(in, "object indexbound");
+            o.name = readName(in, "object name");
+            c.objects.push_back(std::move(o));
+        } else if (tok == "kernel") {
+            if (kernel)
+                fatal("repro: nested kernel");
+            pending = Kernel{};
+            pending.name = readName(in, "kernel name");
+            kernel = &pending;
+        } else if (tok == "loop") {
+            if (!kernel)
+                fatal("repro: loop outside kernel");
+            kernel->loop.staticExtent = readI64(in, "staticExtent");
+            kernel->loop.extentParam =
+                static_cast<int>(readI64(in, "extentParam"));
+            kernel->loop.name = readName(in, "loop name");
+        } else if (tok == "kobject") {
+            if (!kernel)
+                fatal("repro: kobject outside kernel");
+            MemObjectDecl o;
+            o.id = static_cast<int>(readI64(in, "kobject id"));
+            o.elemCount = readU64(in, "kobject count");
+            o.elemBytes = static_cast<std::uint32_t>(
+                readU64(in, "kobject bytes"));
+            o.isFloat = readI64(in, "kobject float") != 0;
+            o.name = readName(in, "kobject name");
+            kernel->objects.push_back(std::move(o));
+        } else if (tok == "kparam") {
+            if (!kernel)
+                fatal("repro: kparam outside kernel");
+            kernel->paramNames.push_back(readName(in, "kparam name"));
+        } else if (tok == "node") {
+            if (!kernel)
+                fatal("repro: node outside kernel");
+            kernel->nodes.push_back(readNode(in));
+        } else if (tok == "result") {
+            if (!kernel)
+                fatal("repro: result outside kernel");
+            kernel->resultCarries.push_back(
+                static_cast<int>(readI64(in, "result node")));
+        } else if (tok == "endkernel") {
+            if (!kernel)
+                fatal("repro: endkernel without kernel");
+            c.kernels.push_back(std::move(pending));
+            kernel = nullptr;
+        } else if (tok == "invoke") {
+            Invocation inv;
+            inv.kernel = static_cast<int>(readI64(in, "invoke kernel"));
+            std::string kw;
+            in >> kw;
+            if (kw != "objs")
+                fatal("repro: invoke missing objs");
+            const std::uint64_t nobjs = readU64(in, "invoke obj count");
+            if (nobjs > 1024)
+                fatal("repro: absurd invoke obj count");
+            for (std::uint64_t i = 0; i < nobjs; ++i) {
+                inv.objects.push_back(
+                    static_cast<int>(readI64(in, "invoke obj")));
+            }
+            in >> kw;
+            if (kw != "params")
+                fatal("repro: invoke missing params");
+            const std::uint64_t nparams =
+                readU64(in, "invoke param count");
+            if (nparams > 1024)
+                fatal("repro: absurd invoke param count");
+            for (std::uint64_t i = 0; i < nparams; ++i)
+                inv.paramBits.push_back(readHex(in, "invoke param"));
+            c.invocations.push_back(std::move(inv));
+        } else {
+            fatal("repro: unknown line '%s'", line.c_str());
+        }
+    }
+    if (kernel)
+        fatal("repro: unterminated kernel");
+    if (!saw_end)
+        fatal("repro: missing end marker");
+    return c;
+}
+
+namespace
+{
+
+/** Largest magnitude storable in an integer object of @p bytes. */
+std::uint64_t
+intTypeMax(std::uint32_t bytes)
+{
+    return bytes >= 8 ? ~0ULL >> 1 : (1ULL << (bytes * 8 - 1)) - 1;
+}
+
+std::string
+checkKernelStructure(const Kernel &k)
+{
+    std::string err;
+    bool threw = false;
+    {
+        ScopedFailureCapture capture;
+        try {
+            k.verify();
+        } catch (const SimFailure &f) {
+            err = f.what();
+            threw = true;
+        }
+    }
+    return threw ? err : std::string{};
+}
+
+} // namespace
+
+std::string
+validateCase(const FuzzCase &c)
+{
+    using distda::strfmt;
+    if (c.invocations.empty())
+        return "case has no invocations";
+    for (std::size_t i = 0; i < c.objects.size(); ++i) {
+        const CaseObject &o = c.objects[i];
+        if (o.elemCount == 0)
+            return strfmt("object %zu has zero elements", i);
+        if (o.elemBytes != 1 && o.elemBytes != 2 && o.elemBytes != 4 &&
+            o.elemBytes != 8)
+            return strfmt("object %zu has bad element size %u", i,
+                          o.elemBytes);
+        if (o.isFloat && o.elemBytes < 4)
+            return strfmt("object %zu: no %u-byte floats", i,
+                          o.elemBytes);
+        if (o.indexBound > 0) {
+            if (o.isFloat)
+                return strfmt("object %zu: float index object", i);
+            if (o.indexBound - 1 > intTypeMax(o.elemBytes))
+                return strfmt("object %zu: indexBound %llu overflows "
+                              "%u-byte elements",
+                              i,
+                              static_cast<unsigned long long>(
+                                  o.indexBound),
+                              o.elemBytes);
+        }
+    }
+    for (std::size_t ki = 0; ki < c.kernels.size(); ++ki) {
+        const Kernel &k = c.kernels[ki];
+        const std::string err = checkKernelStructure(k);
+        if (!err.empty())
+            return strfmt("kernel %zu: %s", ki, err.c_str());
+        for (std::size_t kj = 0; kj < ki; ++kj) {
+            if (c.kernels[kj].name == k.name)
+                return strfmt("kernels %zu and %zu share name '%s' "
+                              "(the plan cache keys on it)",
+                              kj, ki, k.name.c_str());
+        }
+        // UB discipline for hand-written/mutated cases: divisors and
+        // shift amounts must be provably safe constants, and F2I (UB
+        // for out-of-range doubles) is banned outright.
+        for (const Node &n : k.nodes) {
+            if (n.kind != NodeKind::Compute)
+                continue;
+            auto constOf = [&k](int id) -> const Node * {
+                if (id < 0 || id >= static_cast<int>(k.nodes.size()))
+                    return nullptr;
+                const Node &in = k.node(id);
+                return in.kind == NodeKind::ConstInt ||
+                               in.kind == NodeKind::ConstFloat
+                           ? &in
+                           : nullptr;
+            };
+            if (n.op == OpCode::IDiv || n.op == OpCode::IRem) {
+                const Node *d = constOf(n.inputB);
+                if (!d || d->kind != NodeKind::ConstInt ||
+                    d->imm.i <= 0)
+                    return strfmt("kernel %zu node %d: %s divisor "
+                                  "must be a positive ConstInt",
+                                  ki, n.id, compiler::opName(n.op));
+            }
+            if (n.op == OpCode::IShl || n.op == OpCode::IShr) {
+                const Node *s = constOf(n.inputB);
+                if (!s || s->kind != NodeKind::ConstInt ||
+                    s->imm.i < 0 || s->imm.i > 16)
+                    return strfmt("kernel %zu node %d: shift amount "
+                                  "must be a ConstInt in [0, 16]",
+                                  ki, n.id);
+            }
+            if (n.op == OpCode::FDiv) {
+                const Node *d = constOf(n.inputB);
+                if (!d || d->kind != NodeKind::ConstFloat ||
+                    d->imm.f == 0.0)
+                    return strfmt("kernel %zu node %d: FDiv divisor "
+                                  "must be a nonzero ConstFloat",
+                                  ki, n.id);
+            }
+            if (n.op == OpCode::F2I)
+                return strfmt("kernel %zu node %d: F2I is not "
+                              "differential-safe (out-of-range "
+                              "conversion is UB)",
+                              ki, n.id);
+        }
+    }
+    for (std::size_t ii = 0; ii < c.invocations.size(); ++ii) {
+        const Invocation &inv = c.invocations[ii];
+        if (inv.kernel < 0 ||
+            inv.kernel >= static_cast<int>(c.kernels.size()))
+            return strfmt("invocation %zu: bad kernel index %d", ii,
+                          inv.kernel);
+        const Kernel &k =
+            c.kernels[static_cast<std::size_t>(inv.kernel)];
+        if (inv.objects.size() != k.objects.size())
+            return strfmt("invocation %zu: %zu bindings for %zu objects",
+                          ii, inv.objects.size(), k.objects.size());
+        if (inv.paramBits.size() != k.paramNames.size())
+            return strfmt("invocation %zu: %zu params for %zu declared",
+                          ii, inv.paramBits.size(),
+                          k.paramNames.size());
+        for (std::size_t oi = 0; oi < inv.objects.size(); ++oi) {
+            const int co = inv.objects[oi];
+            if (co < 0 || co >= static_cast<int>(c.objects.size()))
+                return strfmt("invocation %zu: bad case object %d", ii,
+                              co);
+            for (std::size_t oj = 0; oj < oi; ++oj) {
+                if (inv.objects[oj] == co)
+                    return strfmt("invocation %zu: object %d bound "
+                                  "twice (aliasing is outside the "
+                                  "offload model)",
+                                  ii, co);
+            }
+            const CaseObject &obj =
+                c.objects[static_cast<std::size_t>(co)];
+            const MemObjectDecl &decl = k.objects[oi];
+            if (obj.elemCount != decl.elemCount ||
+                obj.elemBytes != decl.elemBytes ||
+                obj.isFloat != decl.isFloat)
+                return strfmt("invocation %zu: binding %zu shape "
+                              "mismatch",
+                              ii, oi);
+        }
+        const std::int64_t trip = c.tripOf(inv);
+        if (trip <= 0)
+            return strfmt("invocation %zu: trip %lld", ii,
+                          static_cast<long long>(trip));
+        for (const Node &n : k.nodes) {
+            if (n.kind != NodeKind::Access)
+                continue;
+            const CaseObject &obj = c.objects[static_cast<std::size_t>(
+                inv.objects[static_cast<std::size_t>(n.objId)])];
+            if (n.dir == AccessDir::Store && obj.indexBound > 0)
+                return strfmt("invocation %zu: store to index object "
+                              "'%s'",
+                              ii, obj.name.c_str());
+            if (n.pattern != PatternKind::Affine)
+                continue;
+            std::int64_t base = n.affine.constBase;
+            for (std::size_t p = 0; p < n.affine.paramCoeffs.size();
+                 ++p) {
+                if (p >= inv.paramBits.size())
+                    break;
+                base += n.affine.paramCoeffs[p] *
+                        wordFromBits(inv.paramBits[p]).i;
+            }
+            const std::int64_t last =
+                base + n.affine.ivCoeff * (trip - 1);
+            const std::int64_t lo = std::min(base, last);
+            const std::int64_t hi = std::max(base, last);
+            if (lo < 0 ||
+                hi >= static_cast<std::int64_t>(obj.elemCount))
+                return strfmt("invocation %zu: access %d spans "
+                              "[%lld, %lld] outside object '%s' "
+                              "(%llu elems)",
+                              ii, n.id, static_cast<long long>(lo),
+                              static_cast<long long>(hi),
+                              obj.name.c_str(),
+                              static_cast<unsigned long long>(
+                                  obj.elemCount));
+        }
+    }
+    return {};
+}
+
+void
+saveCase(const FuzzCase &c, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write repro '%s'", path.c_str());
+    out << serializeCase(c);
+    if (!out.good())
+        fatal("write to repro '%s' failed", path.c_str());
+}
+
+FuzzCase
+loadCase(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read repro '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseCase(buf.str());
+}
+
+} // namespace distda::fuzz

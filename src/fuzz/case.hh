@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The unit of differential fuzzing: a self-contained "case" bundling
+ * memory objects, kernels, and a host invocation sequence. A case is
+ * everything needed to replay one execution deterministically — the
+ * generator emits them, the differential executor runs them through
+ * every backend, the shrinker minimizes them, and the `.repro` text
+ * serialization makes each past counterexample a permanent regression
+ * test under tests/corpus/.
+ */
+
+#ifndef DISTDA_FUZZ_CASE_HH
+#define DISTDA_FUZZ_CASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/compiler/dfg.hh"
+
+namespace distda::fuzz
+{
+
+/** One case-level memory object shared by the case's kernels. */
+struct CaseObject
+{
+    std::string name;
+    std::uint64_t elemCount = 0;
+    std::uint32_t elemBytes = 8;
+    bool isFloat = false;
+    /**
+     * >0: index object — initialized with integers in [0, indexBound)
+     * and never stored to, so indirect accesses addressed through it
+     * stay inside the target object.
+     */
+    std::uint64_t indexBound = 0;
+};
+
+/** One kernel invocation of the case's host program. */
+struct Invocation
+{
+    int kernel = 0; ///< index into FuzzCase::kernels
+    /** Kernel object id -> case object index. */
+    std::vector<int> objects;
+    /**
+     * Scalar parameter values in kernel param order, as raw Word bit
+     * patterns (doubles serialize exactly; no decimal round-trip).
+     */
+    std::vector<std::uint64_t> paramBits;
+};
+
+/** A complete, self-contained differential test case. */
+struct FuzzCase
+{
+    std::uint64_t seed = 0;     ///< generator seed (0: hand-written)
+    std::uint64_t dataSeed = 0; ///< object-content initialization seed
+    std::vector<CaseObject> objects;
+    std::vector<compiler::Kernel> kernels;
+    std::vector<Invocation> invocations;
+
+    /** Loop trip count of @p inv (static extent or bound param). */
+    std::int64_t tripOf(const Invocation &inv) const;
+};
+
+/** Render @p c in the `.repro` text format (stable, line-oriented). */
+std::string serializeCase(const FuzzCase &c);
+
+/**
+ * Parse a `.repro` back into a case. fatal()s on malformed input —
+ * run under ScopedFailureCapture to reject gracefully.
+ */
+FuzzCase parseCase(const std::string &text);
+
+/**
+ * Structural well-formedness: kernels verify, bindings are type- and
+ * shape-compatible, affine accesses provably in bounds for every
+ * invocation's trip and parameter values, index objects never stored.
+ * Returns "" when valid, else a one-line diagnosis. The shrinker
+ * filters candidate reductions through this so a mutation can never
+ * turn a simulator bug into a plain out-of-bounds artifact.
+ */
+std::string validateCase(const FuzzCase &c);
+
+/** Write @p c to @p path (fatal on I/O error). */
+void saveCase(const FuzzCase &c, const std::string &path);
+
+/** Load and parse @p path (fatal on I/O or parse error). */
+FuzzCase loadCase(const std::string &path);
+
+} // namespace distda::fuzz
+
+#endif // DISTDA_FUZZ_CASE_HH

@@ -1,0 +1,363 @@
+#include "src/fuzz/diff.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "src/driver/context.hh"
+#include "src/driver/system.hh"
+#include "src/fuzz/gen.hh"
+#include "src/sim/logging.hh"
+
+namespace distda::fuzz
+{
+
+using driver::ArchModel;
+using driver::ExecContext;
+using driver::Metrics;
+using driver::RunConfig;
+using driver::System;
+using driver::SystemParams;
+
+namespace
+{
+
+/** Arena sized to the case: objects + slab rounding + stagger slack. */
+std::uint64_t
+arenaBytesFor(const FuzzCase &c)
+{
+    std::uint64_t total = 64 * 1024;
+    for (const CaseObject &o : c.objects) {
+        const std::uint64_t bytes = o.elemCount * o.elemBytes;
+        total += ((bytes + 4095) / 4096) * 4096 + 2 * 4096;
+    }
+    return total;
+}
+
+PathResult
+runPath(const FuzzCase &c, const char *name, const RunConfig &cfg)
+{
+    PathResult r;
+    r.path = name;
+    ScopedFailureCapture capture;
+    try {
+        SystemParams sp;
+        sp.arenaBytes = arenaBytesFor(c);
+        sp.allocAffinity = cfg.allocAffinity();
+        System sys(sp);
+        std::vector<engine::ArrayRef> arrays;
+        arrays.reserve(c.objects.size());
+        for (std::size_t i = 0; i < c.objects.size(); ++i) {
+            const CaseObject &o = c.objects[i];
+            arrays.push_back(sys.alloc(o.name, o.elemCount,
+                                       o.elemBytes, o.isFloat));
+            initCaseObject(c, i, arrays.back());
+        }
+        ExecContext ctx(sys, cfg);
+        for (const Invocation &inv : c.invocations) {
+            const compiler::Kernel &k =
+                c.kernels[static_cast<std::size_t>(inv.kernel)];
+            std::vector<engine::ArrayRef> bindings;
+            bindings.reserve(inv.objects.size());
+            for (int co : inv.objects)
+                bindings.push_back(
+                    arrays[static_cast<std::size_t>(co)]);
+            std::vector<compiler::Word> params;
+            params.reserve(inv.paramBits.size());
+            for (std::uint64_t bits : inv.paramBits) {
+                compiler::Word w;
+                std::memcpy(&w, &bits, sizeof(w));
+                params.push_back(w);
+            }
+            ctx.invoke(k, bindings, params);
+            for (std::size_t ri = 0; ri < k.resultCarries.size();
+                 ++ri) {
+                r.resultBits.push_back(
+                    static_cast<std::uint64_t>(ctx.resultI(ri)));
+            }
+        }
+        r.metrics = ctx.finish();
+        for (std::size_t i = 0; i < c.objects.size(); ++i) {
+            const engine::ArrayRef &a = arrays[i];
+            std::vector<std::uint8_t> bytes(a.sizeBytes());
+            a.mem->copyOut(a.base, bytes.data(), bytes.size());
+            r.objectBytes.push_back(std::move(bytes));
+        }
+    } catch (const SimFailure &f) {
+        r.crashed = true;
+        r.isPanic = f.isPanic();
+        r.failure = f.what();
+    }
+    return r;
+}
+
+/** Fields that must be bit-identical between interp and predecode. */
+struct MetricField
+{
+    const char *name;
+    double Metrics::*field;
+};
+
+constexpr MetricField kMetricFields[] = {
+    {"timeNs", &Metrics::timeNs},
+    {"hostInsts", &Metrics::hostInsts},
+    {"accelInsts", &Metrics::accelInsts},
+    {"kernelMemOps", &Metrics::kernelMemOps},
+    {"hostMemOps", &Metrics::hostMemOps},
+    {"mmioOps", &Metrics::mmioOps},
+    {"cacheAccesses", &Metrics::cacheAccesses},
+    {"dataMovementBytes", &Metrics::dataMovementBytes},
+    {"totalEnergyPj", &Metrics::totalEnergyPj},
+    {"nocCtrlBytes", &Metrics::nocCtrlBytes},
+    {"nocDataBytes", &Metrics::nocDataBytes},
+    {"nocAccCtrlBytes", &Metrics::nocAccCtrlBytes},
+    {"nocAccDataBytes", &Metrics::nocAccDataBytes},
+    {"intraBytes", &Metrics::intraBytes},
+    {"daBytes", &Metrics::daBytes},
+    {"aaBytes", &Metrics::aaBytes},
+};
+
+void
+checkSanity(const PathResult &r, std::vector<Finding> &findings)
+{
+    if (r.crashed)
+        return;
+    auto bad = [&](const std::string &what) {
+        findings.push_back(
+            Finding{Finding::Kind::StatAnomaly,
+                    strfmt("%s: %s", r.path.c_str(), what.c_str())});
+    };
+    if (!(r.metrics.timeNs > 0.0))
+        bad(strfmt("timeNs %g not positive", r.metrics.timeNs));
+    for (const MetricField &mf : kMetricFields) {
+        const double v = r.metrics.*(mf.field);
+        if (!std::isfinite(v))
+            bad(strfmt("%s not finite", mf.name));
+        else if (v < 0.0)
+            bad(strfmt("%s negative (%g)", mf.name, v));
+    }
+    for (const auto &[comp, pj] : r.metrics.energyByComponent) {
+        if (!std::isfinite(pj) || pj < 0.0)
+            bad(strfmt("energy[%s] = %g", comp.c_str(), pj));
+    }
+}
+
+std::string
+stripDigits(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    bool in_num = false;
+    for (char ch : s) {
+        if (ch == '\n')
+            break;
+        if (ch >= '0' && ch <= '9') {
+            if (!in_num)
+                out.push_back('#');
+            in_num = true;
+            continue;
+        }
+        in_num = false;
+        out.push_back(ch);
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+findingKindName(Finding::Kind k)
+{
+    switch (k) {
+      case Finding::Kind::InvalidCase: return "invalid-case";
+      case Finding::Kind::Crash: return "crash";
+      case Finding::Kind::Divergence: return "divergence";
+      case Finding::Kind::StatAnomaly: return "stat-anomaly";
+      default: return "?";
+    }
+}
+
+std::string
+DiffOutcome::signature() const
+{
+    if (findings.empty())
+        return {};
+    const Finding &f = findings.front();
+    if (f.kind == Finding::Kind::Divergence)
+        return findingKindName(f.kind);
+    return std::string(findingKindName(f.kind)) + ":" +
+           stripDigits(f.detail);
+}
+
+std::string
+DiffOutcome::summary() const
+{
+    std::ostringstream out;
+    if (findings.empty()) {
+        out << "ok (" << paths.size() << " paths agree)";
+        return out.str();
+    }
+    out << findings.size() << " finding(s):\n";
+    for (const Finding &f : findings)
+        out << "  [" << findingKindName(f.kind) << "] " << f.detail
+            << '\n';
+    return out.str();
+}
+
+DiffOutcome
+runDifferential(const FuzzCase &c, const DiffOptions &opts)
+{
+    DiffOutcome out;
+    const std::string invalid = validateCase(c);
+    if (!invalid.empty()) {
+        out.findings.push_back(
+            Finding{Finding::Kind::InvalidCase, invalid});
+        return out;
+    }
+
+    struct PathSpec
+    {
+        const char *name;
+        RunConfig cfg;
+    };
+    std::vector<PathSpec> specs;
+    auto mkcfg = [](ArchModel m, int predecode = -1) {
+        RunConfig cfg;
+        cfg.model = m;
+        cfg.verifyPlans = compiler::VerifyMode::Error;
+        cfg.predecodeOverride = predecode;
+        return cfg;
+    };
+    specs.push_back({"OoO", mkcfg(ArchModel::OoO)});
+    if (opts.mono) {
+        specs.push_back({"Mono-CA", mkcfg(ArchModel::MonoCA)});
+        specs.push_back({"Mono-DA-IO", mkcfg(ArchModel::MonoDA_IO)});
+    }
+    specs.push_back(
+        {"Dist-DA-IO/interp", mkcfg(ArchModel::DistDA_IO, 0)});
+    specs.push_back(
+        {"Dist-DA-IO/predecode", mkcfg(ArchModel::DistDA_IO, 1)});
+    if (opts.cgra)
+        specs.push_back({"Dist-DA-F", mkcfg(ArchModel::DistDA_F)});
+
+    // DISTDA_FUZZ_TRACE=1 narrates per-path progress on stderr —
+    // the way to localize a hang to one execution path.
+    static const bool trace = std::getenv("DISTDA_FUZZ_TRACE");
+    out.paths.reserve(specs.size());
+    for (const PathSpec &spec : specs) {
+        if (trace)
+            std::fprintf(stderr, "    [diff] %s...\n", spec.name);
+        out.paths.push_back(runPath(c, spec.name, spec.cfg));
+    }
+    if (trace)
+        std::fprintf(stderr, "    [diff] compare\n");
+
+    // Crash accounting: a valid case must run everywhere.
+    const PathResult *reference = nullptr;
+    for (const PathResult &r : out.paths) {
+        if (r.crashed) {
+            out.findings.push_back(Finding{
+                Finding::Kind::Crash,
+                strfmt("%s: %s", r.path.c_str(), r.failure.c_str())});
+        } else if (!reference) {
+            reference = &r;
+        }
+    }
+    if (!reference)
+        return out; // everything crashed; nothing to compare
+
+    // Functional cross-check against the first surviving path.
+    for (const PathResult &r : out.paths) {
+        if (r.crashed || &r == reference)
+            continue;
+        for (std::size_t oi = 0; oi < c.objects.size(); ++oi) {
+            const auto &a = reference->objectBytes[oi];
+            const auto &b = r.objectBytes[oi];
+            if (a == b)
+                continue;
+            std::size_t byte = 0;
+            while (byte < a.size() && a[byte] == b[byte])
+                ++byte;
+            const std::uint32_t eb = c.objects[oi].elemBytes;
+            out.findings.push_back(Finding{
+                Finding::Kind::Divergence,
+                strfmt("object '%s' differs between %s and %s at "
+                       "element %zu (byte %zu): %02x vs %02x",
+                       c.objects[oi].name.c_str(),
+                       reference->path.c_str(), r.path.c_str(),
+                       byte / eb, byte, a[byte], b[byte])});
+            break; // one finding per object pair is enough
+        }
+        if (r.resultBits != reference->resultBits) {
+            std::size_t i = 0;
+            while (i < r.resultBits.size() &&
+                   i < reference->resultBits.size() &&
+                   r.resultBits[i] == reference->resultBits[i])
+                ++i;
+            out.findings.push_back(Finding{
+                Finding::Kind::Divergence,
+                strfmt("result carry %zu differs between %s "
+                       "(0x%016llx) and %s (0x%016llx)",
+                       i, reference->path.c_str(),
+                       static_cast<unsigned long long>(
+                           i < reference->resultBits.size()
+                               ? reference->resultBits[i]
+                               : 0),
+                       r.path.c_str(),
+                       static_cast<unsigned long long>(
+                           i < r.resultBits.size() ? r.resultBits[i]
+                                                   : 0))});
+        }
+    }
+
+    // Interpreter vs predecode must agree on every metric exactly —
+    // the streams execute the same abstract program.
+    const PathResult *interp = nullptr;
+    const PathResult *pre = nullptr;
+    for (const PathResult &r : out.paths) {
+        if (r.path == "Dist-DA-IO/interp")
+            interp = &r;
+        if (r.path == "Dist-DA-IO/predecode")
+            pre = &r;
+    }
+    if (interp && pre && !interp->crashed && !pre->crashed) {
+        for (const MetricField &mf : kMetricFields) {
+            const double a = interp->metrics.*(mf.field);
+            const double b = pre->metrics.*(mf.field);
+            if (a != b) {
+                out.findings.push_back(Finding{
+                    Finding::Kind::Divergence,
+                    strfmt("interp/predecode metric %s differs: "
+                           "%.17g vs %.17g",
+                           mf.name, a, b)});
+            }
+        }
+    }
+
+    for (const PathResult &r : out.paths)
+        checkSanity(r, out.findings);
+
+    // Model-level sanity: the host-only path must not report
+    // accelerator work, and accelerated paths must offload something.
+    for (const PathResult &r : out.paths) {
+        if (r.crashed)
+            continue;
+        if (r.path == "OoO" && r.metrics.accelInsts != 0.0) {
+            out.findings.push_back(
+                Finding{Finding::Kind::StatAnomaly,
+                        strfmt("OoO reports %g accelerator insts",
+                               r.metrics.accelInsts)});
+        }
+        if (r.path != "OoO" && r.metrics.accelInsts <= 0.0) {
+            out.findings.push_back(
+                Finding{Finding::Kind::StatAnomaly,
+                        strfmt("%s offloaded nothing", r.path.c_str())});
+        }
+    }
+
+    return out;
+}
+
+} // namespace distda::fuzz

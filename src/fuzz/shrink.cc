@@ -1,0 +1,302 @@
+#include "src/fuzz/shrink.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/logging.hh"
+
+namespace distda::fuzz
+{
+
+using compiler::Kernel;
+using compiler::Node;
+using compiler::NodeKind;
+using compiler::noNode;
+
+namespace
+{
+
+/** All node ids @p n refers to (forward inputs + carry back-edge). */
+void
+eachReference(const Node &n, const std::function<void(int)> &fn)
+{
+    auto push = [&fn](int id) {
+        if (id != noNode)
+            fn(id);
+    };
+    push(n.inputA);
+    push(n.inputB);
+    push(n.inputC);
+    push(n.addrInput);
+    push(n.valueInput);
+    push(n.predInput);
+    push(n.carryUpdate);
+}
+
+/**
+ * Remove node @p seed plus every node that (transitively) refers to
+ * it, then compact ids. Returns false when the removal is structurally
+ * impossible (seed is a MemObject, or nothing would remain).
+ */
+bool
+removeNodeClosure(Kernel &k, int seed)
+{
+    if (k.node(seed).kind == NodeKind::MemObject)
+        return false;
+    std::vector<bool> dead(k.nodes.size(), false);
+    dead[static_cast<std::size_t>(seed)] = true;
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const Node &n : k.nodes) {
+            if (dead[static_cast<std::size_t>(n.id)])
+                continue;
+            bool refs_dead = false;
+            eachReference(n, [&](int id) {
+                if (dead[static_cast<std::size_t>(id)])
+                    refs_dead = true;
+            });
+            if (refs_dead) {
+                dead[static_cast<std::size_t>(n.id)] = true;
+                grew = true;
+            }
+        }
+    }
+    std::vector<int> remap(k.nodes.size(), noNode);
+    std::vector<Node> kept;
+    for (const Node &n : k.nodes) {
+        if (dead[static_cast<std::size_t>(n.id)])
+            continue;
+        remap[static_cast<std::size_t>(n.id)] =
+            static_cast<int>(kept.size());
+        kept.push_back(n);
+    }
+    if (kept.size() == k.nodes.size() || kept.empty())
+        return false;
+    auto fix = [&remap](int &id) {
+        if (id != noNode)
+            id = remap[static_cast<std::size_t>(id)];
+    };
+    for (Node &n : kept) {
+        n.id = remap[static_cast<std::size_t>(n.id)];
+        fix(n.inputA);
+        fix(n.inputB);
+        fix(n.inputC);
+        fix(n.addrInput);
+        fix(n.valueInput);
+        fix(n.predInput);
+        fix(n.carryUpdate);
+    }
+    std::vector<int> results;
+    for (int r : k.resultCarries) {
+        if (!dead[static_cast<std::size_t>(r)])
+            results.push_back(remap[static_cast<std::size_t>(r)]);
+    }
+    k.nodes = std::move(kept);
+    k.resultCarries = std::move(results);
+    return true;
+}
+
+/** Remove kernels no invocation references (back-to-front so kernel
+ *  indices stay valid while erasing). */
+void
+dropOrphanKernels(FuzzCase &c)
+{
+    for (int k = static_cast<int>(c.kernels.size()); k-- > 0;) {
+        bool used = false;
+        for (const Invocation &inv : c.invocations)
+            used = used || inv.kernel == k;
+        if (used)
+            continue;
+        c.kernels.erase(c.kernels.begin() + k);
+        for (Invocation &inv : c.invocations) {
+            if (inv.kernel > k)
+                --inv.kernel;
+        }
+    }
+}
+
+void
+dropKernel(FuzzCase &c, int k)
+{
+    c.kernels.erase(c.kernels.begin() + k);
+    for (auto it = c.invocations.begin(); it != c.invocations.end();) {
+        if (it->kernel == k) {
+            it = c.invocations.erase(it);
+        } else {
+            if (it->kernel > k)
+                --it->kernel;
+            ++it;
+        }
+    }
+}
+
+/** Set the trip of kernel @p k to f(current) in every invocation. */
+bool
+mapTrip(FuzzCase &c, std::size_t k,
+        const std::function<std::int64_t(std::int64_t)> &f)
+{
+    Kernel &kern = c.kernels[k];
+    bool changed = false;
+    if (kern.loop.extentParam < 0) {
+        const std::int64_t now = kern.loop.staticExtent;
+        const std::int64_t next = f(now);
+        if (next != now) {
+            kern.loop.staticExtent = next;
+            changed = true;
+        }
+        return changed;
+    }
+    const std::size_t p =
+        static_cast<std::size_t>(kern.loop.extentParam);
+    for (Invocation &inv : c.invocations) {
+        if (inv.kernel != static_cast<int>(k) ||
+            p >= inv.paramBits.size())
+            continue;
+        compiler::Word w;
+        std::memcpy(&w, &inv.paramBits[p], sizeof(w));
+        const std::int64_t next = f(w.i);
+        if (next != w.i) {
+            w.i = next;
+            std::memcpy(&inv.paramBits[p], &w, sizeof(w));
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+struct Shrinker
+{
+    const ShrinkOracle &oracle;
+    FuzzCase best;
+    ShrinkStats stats;
+
+    bool
+    accept(FuzzCase cand)
+    {
+        ++stats.attempts;
+        if (!validateCase(cand).empty())
+            return false;
+        if (!oracle(cand))
+            return false;
+        best = std::move(cand);
+        ++stats.accepted;
+        return true;
+    }
+
+    /** One full pass; true when any reduction was accepted. */
+    bool
+    round()
+    {
+        // Coarse first: whole invocations (pruning kernels the drop
+        // orphans — they could never be removed later, since deleting
+        // the surviving invocation's kernel instead would leave an
+        // invocation-less, invalid case), then whole kernels.
+        for (std::size_t i = best.invocations.size(); i-- > 0;) {
+            FuzzCase cand = best;
+            cand.invocations.erase(cand.invocations.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+            dropOrphanKernels(cand);
+            if (accept(std::move(cand)))
+                return true;
+        }
+        for (std::size_t k = best.kernels.size(); k-- > 0;) {
+            FuzzCase cand = best;
+            dropKernel(cand, static_cast<int>(k));
+            if (accept(std::move(cand)))
+                return true;
+        }
+        // Iteration counts: halve, then decrement.
+        for (std::size_t k = 0; k < best.kernels.size(); ++k) {
+            {
+                FuzzCase cand = best;
+                if (mapTrip(cand, k,
+                            [](std::int64_t t) {
+                                return std::max<std::int64_t>(1,
+                                                              t / 2);
+                            }) &&
+                    accept(std::move(cand)))
+                    return true;
+            }
+            FuzzCase cand = best;
+            if (mapTrip(cand, k,
+                        [](std::int64_t t) {
+                            return std::max<std::int64_t>(1, t - 1);
+                        }) &&
+                accept(std::move(cand)))
+                return true;
+        }
+        // DFG nodes, with their transitive users.
+        for (std::size_t k = 0; k < best.kernels.size(); ++k) {
+            const std::size_t nn = best.kernels[k].nodes.size();
+            for (std::size_t id = nn; id-- > 0;) {
+                FuzzCase cand = best;
+                if (!removeNodeClosure(cand.kernels[k],
+                                       static_cast<int>(id)))
+                    continue;
+                if (accept(std::move(cand)))
+                    return true;
+            }
+        }
+        // Affine simplification and constant zeroing.
+        for (std::size_t k = 0; k < best.kernels.size(); ++k) {
+            for (std::size_t id = 0; id < best.kernels[k].nodes.size();
+                 ++id) {
+                const Node &n = best.kernels[k].nodes[id];
+                if (n.kind == NodeKind::Access &&
+                    n.pattern == compiler::PatternKind::Affine) {
+                    if (n.affine.constBase != 0) {
+                        FuzzCase cand = best;
+                        cand.kernels[k].nodes[id].affine.constBase = 0;
+                        if (accept(std::move(cand)))
+                            return true;
+                    }
+                    if (!n.affine.paramCoeffs.empty()) {
+                        FuzzCase cand = best;
+                        cand.kernels[k]
+                            .nodes[id]
+                            .affine.paramCoeffs.clear();
+                        if (accept(std::move(cand)))
+                            return true;
+                    }
+                    if (n.affine.ivCoeff > 1) {
+                        FuzzCase cand = best;
+                        cand.kernels[k].nodes[id].affine.ivCoeff = 1;
+                        if (accept(std::move(cand)))
+                            return true;
+                    }
+                }
+                if (n.kind == NodeKind::ConstInt && n.imm.i != 0) {
+                    FuzzCase cand = best;
+                    cand.kernels[k].nodes[id].imm.i = 0;
+                    if (accept(std::move(cand)))
+                        return true;
+                }
+            }
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+FuzzCase
+shrinkCase(const FuzzCase &c, const ShrinkOracle &still_fails,
+           int max_rounds, ShrinkStats *stats)
+{
+    Shrinker s{still_fails, c, {}};
+    for (int round = 0; round < max_rounds; ++round) {
+        bool any = false;
+        // Drain consecutive accepts within the round budget: round()
+        // restarts its scan after every accepted reduction.
+        while (s.round())
+            any = true;
+        if (!any)
+            break;
+    }
+    if (stats)
+        *stats = s.stats;
+    return std::move(s.best);
+}
+
+} // namespace distda::fuzz

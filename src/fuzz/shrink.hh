@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Greedy case minimizer. Given a failing case and an oracle ("does
+ * this candidate still fail the same way?"), repeatedly applies
+ * reductions — drop invocations, drop kernels, delete DFG nodes with
+ * their transitive users, halve trip counts, simplify affine
+ * patterns — keeping each candidate only if it remains structurally
+ * valid (validateCase) and the oracle still fires. Runs to fixpoint,
+ * producing the smallest reproducer to commit under tests/corpus/.
+ */
+
+#ifndef DISTDA_FUZZ_SHRINK_HH
+#define DISTDA_FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "src/fuzz/case.hh"
+
+namespace distda::fuzz
+{
+
+/** true = the candidate still exhibits the original failure. */
+using ShrinkOracle = std::function<bool(const FuzzCase &)>;
+
+struct ShrinkStats
+{
+    int attempts = 0;
+    int accepted = 0;
+};
+
+/**
+ * Minimize @p c under @p still_fails. The oracle is never called with
+ * a case that fails validateCase(). @p max_rounds bounds full passes
+ * over the reduction set (each pass is quadratic-ish in case size).
+ */
+FuzzCase shrinkCase(const FuzzCase &c, const ShrinkOracle &still_fails,
+                    int max_rounds = 8, ShrinkStats *stats = nullptr);
+
+} // namespace distda::fuzz
+
+#endif // DISTDA_FUZZ_SHRINK_HH

@@ -38,6 +38,13 @@ SlabAllocator::allocate(std::uint64_t bytes, const std::string &name)
 {
     if (bytes == 0)
         fatal("zero-byte allocation '%s'", name.c_str());
+    // Reject before rounding: for bytes within minSlab of UINT64_MAX
+    // the round-up below would wrap and hand out a tiny range aliasing
+    // a later allocation instead of failing.
+    if (bytes > _size)
+        fatal("allocation '%s' of %llu bytes exceeds the %llu-byte arena",
+              name.c_str(), static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(_size));
 
     const int cls = classFor(bytes);
     std::uint64_t rounded;

@@ -12,6 +12,7 @@ namespace
 // Toggled by drivers while worker threads may be mid-run, so atomic;
 // it only gates status output.
 std::atomic<bool> informEnabledFlag{true};
+std::atomic<bool> warnEnabledFlag{true};
 
 // Per-thread nesting depth of active ScopedFailureCapture guards.
 thread_local int captureDepth = 0;
@@ -86,6 +87,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (!warnEnabledFlag.load(std::memory_order_relaxed))
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
@@ -115,6 +118,18 @@ bool
 informEnabled()
 {
     return informEnabledFlag.load(std::memory_order_relaxed);
+}
+
+void
+setWarnEnabled(bool enabled)
+{
+    warnEnabledFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+warnEnabled()
+{
+    return warnEnabledFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace distda

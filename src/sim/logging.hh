@@ -95,6 +95,16 @@ void setInformEnabled(bool enabled);
 bool informEnabled();
 
 /**
+ * Enable/disable warn() output. The fuzzer runs thousands of random
+ * kernels whose verifier smells (dead registers etc.) are expected;
+ * it silences warnings process-wide rather than drowning stderr.
+ */
+void setWarnEnabled(bool enabled);
+
+/** Current warn() gating state. */
+bool warnEnabled();
+
+/**
  * Assert-like invariant check that survives NDEBUG builds.
  * Calls panic() with the condition text when cond is false.
  */

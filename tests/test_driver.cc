@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "death_helpers.hh"
 #include "src/driver/runner.hh"
 #include "src/driver/system.hh"
 
@@ -151,4 +152,46 @@ TEST(Runner, InvalidWorkloadIsFatal)
 {
     RunConfig cfg;
     EXPECT_DEATH((void)driver::runWorkload("bogus", cfg), "unknown");
+}
+
+TEST(Config, ParseIntAcceptsExactIntegers)
+{
+    EXPECT_EQ(driver::parseInt("0", "--n"), 0);
+    EXPECT_EQ(driver::parseInt("42", "--n"), 42);
+    EXPECT_EQ(driver::parseInt("-7", "--n"), -7);
+    EXPECT_EQ(driver::parseInt("9223372036854775807", "--n"),
+              9223372036854775807LL);
+}
+
+TEST(Config, ParseIntRejectsGarbageInsteadOfDefaultingToZero)
+{
+    // atoi-style parsing silently turned typos into 0; every one of
+    // these must be a hard error.
+    EXPECT_PANIC((void)driver::parseInt("", "--jobs"), "empty value");
+    EXPECT_PANIC((void)driver::parseInt("four", "--jobs"),
+                 "not an integer");
+    EXPECT_PANIC((void)driver::parseInt("4x", "--jobs"),
+                 "not an integer");
+    EXPECT_PANIC((void)driver::parseInt("4.5", "--jobs"),
+                 "not an integer");
+    EXPECT_PANIC((void)driver::parseInt("99999999999999999999",
+                                        "--jobs"),
+                 "out of range");
+}
+
+TEST(Config, ParseDoubleAcceptsNumbers)
+{
+    EXPECT_DOUBLE_EQ(driver::parseDouble("0.25", "--scale"), 0.25);
+    EXPECT_DOUBLE_EQ(driver::parseDouble("-3", "--scale"), -3.0);
+    EXPECT_DOUBLE_EQ(driver::parseDouble("1e3", "--scale"), 1000.0);
+}
+
+TEST(Config, ParseDoubleRejectsGarbageInsteadOfDefaultingToZero)
+{
+    EXPECT_PANIC((void)driver::parseDouble("", "--scale"),
+                 "empty value");
+    EXPECT_PANIC((void)driver::parseDouble("fast", "--scale"),
+                 "not a number");
+    EXPECT_PANIC((void)driver::parseDouble("1.5x", "--scale"),
+                 "not a number");
 }

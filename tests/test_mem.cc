@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "death_helpers.hh"
 #include "src/mem/cache.hh"
 #include "src/mem/dram.hh"
 #include "src/mem/hierarchy.hh"
@@ -306,8 +307,30 @@ TEST(Slab, FindLocatesAllocation)
 
 TEST(Slab, ExhaustionIsFatal)
 {
+    // Individually in-range requests that together overrun the arena
+    // trip the bump-region exhaustion check; a single request larger
+    // than the arena is rejected earlier (see
+    // OverflowingSizeIsFatalNotWrapped).
     mem::SlabAllocator slab(0x1000'0000, 64 * 1024);
-    EXPECT_DEATH((void)slab.allocate(1 << 20, "huge"), "exhausted");
+    (void)slab.allocate(32 * 1024, "a");
+    EXPECT_PANIC((void)slab.allocate(32 * 1024, "b"), "exhausted");
+}
+
+TEST(Slab, ZeroByteAllocationIsFatal)
+{
+    mem::SlabAllocator slab(0x1000'0000, 1 << 20);
+    EXPECT_PANIC((void)slab.allocate(0, "empty"), "zero-byte");
+}
+
+TEST(Slab, OverflowingSizeIsFatalNotWrapped)
+{
+    // Near-UINT64_MAX requests used to wrap during slab rounding and
+    // hand back a tiny range aliasing a later allocation; they must be
+    // rejected before rounding instead.
+    mem::SlabAllocator slab(0x1000'0000, 1 << 20);
+    EXPECT_PANIC((void)slab.allocate(~0ULL, "wrap"), "exceeds");
+    EXPECT_PANIC((void)slab.allocate(~0ULL - 4000, "wrap2"), "exceeds");
+    EXPECT_PANIC((void)slab.allocate((1 << 20) + 1, "over"), "exceeds");
 }
 
 TEST(ObjectTable, TranslatesOffsets)

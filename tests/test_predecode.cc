@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/driver/context.hh"
 #include "src/driver/runner.hh"
+#include "src/driver/system.hh"
 #include "src/engine/actor.hh"
 #include "src/workloads/workload.hh"
 
@@ -91,6 +93,76 @@ TEST(Predecode, MatchesInterpreterOnMonolithicConfigs)
                           std::string("pr / ") +
                               driver::archModelName(m));
     }
+}
+
+/**
+ * Multi-kernel equivalence with warm plan caches, through the
+ * per-engine override (RunConfig::predecodeOverride) instead of the
+ * global toggle: two distinct kernels, each invoked three times in one
+ * context, so re-invocations hit the cached CompiledKernel and the
+ * cached predecoded streams. Metrics and memory must stay
+ * bit-identical between the interpreter and predecode paths.
+ */
+TEST(Predecode, MatchesInterpreterOnMultiKernelWarmCacheRuns)
+{
+    const std::uint64_t n = 192;
+    auto runOnce = [n](int predecode, std::vector<double> &out) {
+        driver::SystemParams sp;
+        driver::System sys(sp);
+        auto a = sys.alloc("a", n, 8, false);
+        auto b = sys.alloc("b", n, 8, false);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            a.setI(i, static_cast<std::int64_t>(i) - 40);
+            b.setI(i, 3 * static_cast<std::int64_t>(i % 17));
+        }
+
+        compiler::KernelBuilder scale("warm_scale");
+        int sa = scale.object("a", n, 8, false);
+        int sb = scale.object("b", n, 8, false);
+        scale.loopStatic(static_cast<std::int64_t>(n));
+        scale.store(sb, scale.affine(0, 1),
+                    scale.iadd(scale.load(sa, scale.affine(0, 1)),
+                               scale.load(sb, scale.affine(0, 1))));
+        const compiler::Kernel k1 = scale.build();
+
+        compiler::KernelBuilder reduce("warm_reduce");
+        int ra = reduce.object("a", n, 8, false);
+        reduce.loopStatic(static_cast<std::int64_t>(n));
+        compiler::Word zero;
+        zero.i = 0;
+        auto acc = reduce.carry(zero, false, "acc");
+        reduce.setCarry(
+            acc, reduce.iadd(acc, reduce.load(ra, reduce.affine(0, 1))));
+        reduce.markResult(acc);
+        const compiler::Kernel k2 = reduce.build();
+
+        driver::RunConfig cfg;
+        cfg.model = driver::ArchModel::DistDA_IO;
+        cfg.predecodeOverride = predecode;
+        driver::ExecContext ctx(sys, cfg);
+        std::int64_t sum = 0;
+        for (int rep = 0; rep < 3; ++rep) {
+            ctx.invoke(k1, {a, b}, {});
+            ctx.invoke(k2, {a}, {});
+            sum += ctx.resultI(0);
+        }
+        const driver::Metrics m = ctx.finish();
+        out = {m.timeNs,        m.hostInsts,    m.accelInsts,
+               m.kernelMemOps,  m.hostMemOps,   m.mmioOps,
+               m.cacheAccesses, m.totalEnergyPj, m.nocCtrlBytes,
+               m.nocDataBytes,  m.intraBytes,   m.daBytes,
+               static_cast<double>(sum)};
+        for (std::uint64_t i = 0; i < n; ++i)
+            out.push_back(static_cast<double>(b.getI(i)));
+    };
+
+    std::vector<double> interp;
+    std::vector<double> pre;
+    runOnce(0, interp);
+    runOnce(1, pre);
+    ASSERT_EQ(interp.size(), pre.size());
+    for (std::size_t i = 0; i < interp.size(); ++i)
+        EXPECT_EQ(interp[i], pre[i]) << "field " << i;
 }
 
 } // namespace

@@ -43,6 +43,34 @@ TEST(EventQueue, EqualTicksFifo)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(EventQueue, SameTickFifoSurvivesHeapChurnAndMidDrainInserts)
+{
+    // Pin the (tick, insertion-order) contract hard: interleave the
+    // insertion of 32 events across two ticks (so heap pushes and pops
+    // churn the underlying container), and have one tick-10 event
+    // append a same-tick follow-up mid-drain. FIFO requires each
+    // tick's events in insertion order, with the follow-up last at
+    // its tick because it was inserted last.
+    sim::EventQueue eq;
+    std::vector<std::pair<Tick, int>> order;
+    for (int i = 0; i < 16; ++i) {
+        eq.schedule(20, [&order, i] { order.push_back({20, i}); });
+        eq.schedule(10, [&order, i] { order.push_back({10, i}); });
+    }
+    eq.schedule(10, [&] {
+        eq.scheduleIn(0, [&order] { order.push_back({10, 99}); });
+    });
+    eq.run();
+    ASSERT_EQ(order.size(), 33u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)],
+                  (std::pair<Tick, int>{10, i}));
+        EXPECT_EQ(order[static_cast<std::size_t>(17 + i)],
+                  (std::pair<Tick, int>{20, i}));
+    }
+    EXPECT_EQ(order[16], (std::pair<Tick, int>{10, 99}));
+}
+
 TEST(EventQueue, EventsCanScheduleEvents)
 {
     sim::EventQueue eq;

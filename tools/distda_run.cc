@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/config.hh"
 #include "src/driver/sweep.hh"
 #include "src/workloads/workload.hh"
 
@@ -170,15 +171,16 @@ main(int argc, char **argv)
         } else if (arg.rfind("--config=", 0) == 0) {
             config = arg.substr(9);
         } else if (arg.rfind("--scale=", 0) == 0) {
-            opts.scale = std::atof(arg.c_str() + 8);
+            opts.scale = driver::parseDouble(arg.substr(8), "--scale");
         } else if (arg == "--quick") {
             opts.scale = 0.25;
         } else if (arg == "--paper") {
             opts.scale = 2.0;
         } else if (arg.rfind("--jobs=", 0) == 0) {
-            sweep_opts.jobs = std::atoi(arg.c_str() + 7);
+            sweep_opts.jobs = static_cast<int>(
+                driver::parseInt(arg.substr(7), "--jobs"));
         } else if (arg.rfind("--ghz=", 0) == 0) {
-            cfg.accelGHz = std::atof(arg.c_str() + 6);
+            cfg.accelGHz = driver::parseDouble(arg.substr(6), "--ghz");
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--no-combining") {
@@ -187,9 +189,10 @@ main(int argc, char **argv)
             cfg.disableRetention = true;
         } else if (arg.rfind("--buffer=", 0) == 0) {
             cfg.bufferBytesOverride = static_cast<std::uint32_t>(
-                std::atoi(arg.c_str() + 9));
+                driver::parseInt(arg.substr(9), "--buffer"));
         } else if (arg.rfind("--channel=", 0) == 0) {
-            cfg.channelCapacityOverride = std::atoi(arg.c_str() + 10);
+            cfg.channelCapacityOverride = static_cast<int>(
+                driver::parseInt(arg.substr(10), "--channel"));
         } else if (arg == "--verify") {
             cfg.verifyPlans = compiler::VerifyMode::Error;
         } else if (arg.rfind("--verify=", 0) == 0) {
@@ -201,8 +204,8 @@ main(int argc, char **argv)
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             opts.obs.statsJsonPath = arg.substr(13);
         } else if (arg.rfind("--stats-interval=", 0) == 0) {
-            opts.obs.statsIntervalTicks =
-                static_cast<sim::Tick>(std::atoll(arg.c_str() + 17));
+            opts.obs.statsIntervalTicks = static_cast<sim::Tick>(
+                driver::parseInt(arg.substr(17), "--stats-interval"));
         } else if (arg.rfind("--report-dir=", 0) == 0) {
             sweep_opts.reportDir = arg.substr(13);
         } else {
