@@ -5,13 +5,18 @@
 #   3. full test suite
 #   4. parallel-sweep determinism smoke (--jobs=1 vs --jobs=N CSV)
 #      plus byte-identity against the committed golden CSV
-#   5. quick bench smoke through the sweep engine
-#   6. Release build + perf-regression gate (bench/perf_baseline vs
+#   5. plan-analysis smoke: --analyze=json over every workload on
+#      both distributed substrates, validated with python3 (no
+#      violations, affine bounds proven, liveness proven, at least
+#      one memoizable kernel)
+#   6. quick bench smoke through the sweep engine
+#   7. Release build + perf-regression gate (bench/perf_baseline vs
 #      the committed BENCH_seed.json, via scripts/perf_check.sh)
-#   7. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
+#   8. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
 #      sweep smoke
-#   8. clang-tidy (when available)
-#   9. optionally ($RUN_BENCH=1) regenerate every table/figure
+#   9. clang-tidy (when available): strict over src/verify + src/sim
+#      (warnings are errors), advisory elsewhere
+#  10. optionally ($RUN_BENCH=1) regenerate every table/figure
 set -e
 cd "$(dirname "$0")/.."
 
@@ -80,6 +85,39 @@ EOF
     >"$BUILD/sweep-obs.csv" 2>/dev/null
 cmp tests/golden/quick_sweep.csv "$BUILD/sweep-obs.csv"
 
+echo "===== plan-analysis smoke (--analyze=json, both substrates)"
+"$BUILD"/tools/distda_run --workload=all --config=Dist-DA-IO --quick \
+    --analyze=json >"$BUILD/analysis-io.json" 2>/dev/null
+"$BUILD"/tools/distda_run --workload=all --config=Dist-DA-F --quick \
+    --analyze=json >"$BUILD/analysis-f.json" 2>/dev/null
+python3 - "$BUILD/analysis-io.json" "$BUILD/analysis-f.json" <<'EOF'
+import json
+import sys
+
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    assert doc["violations"] == 0, f"{path}: violations reported"
+    entries = doc["analysis"]
+    assert entries, f"{path}: empty analysis section"
+    kernels = [k for e in entries for k in e["kernels"]]
+    assert kernels, f"{path}: no kernels analyzed"
+    memoizable = 0
+    for k in kernels:
+        name = k["kernel"]
+        assert k["bounds"]["violated"] == 0, \
+            f"{path}: {name} has violated bounds"
+        for a in k["bounds"]["accesses"]:
+            if a["affine"]:
+                assert a["verdict"] == "proven", \
+                    f"{path}: {name} affine access not proven: {a}"
+        assert k["channels"]["deadlock_free"] == "proven", \
+            f"{path}: {name} liveness not proven"
+        memoizable += 1 if k["purity"]["memoizable"] else 0
+    assert memoizable >= 1, f"{path}: no memoizable kernel"
+    print(f"analysis OK: {path} ({len(kernels)} kernels, "
+          f"{memoizable} memoizable)")
+EOF
+
 echo "===== quick bench smoke (--quick --jobs=$JOBS)"
 "$BUILD"/bench/fig11_performance --quick --jobs="$JOBS" >/dev/null
 "$BUILD"/bench/table06_offload_characteristics --quick \
@@ -114,9 +152,13 @@ echo "===== TSan parallel sweep smoke"
     --jobs=4 >/dev/null
 
 if command -v clang-tidy >/dev/null 2>&1; then
-    echo "===== clang-tidy"
     cmake -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    echo "===== clang-tidy (strict: src/verify + src/sim)"
+    git ls-files 'src/verify/*.cc' 'src/sim/*.cc' |
+        xargs clang-tidy -p "$BUILD" --quiet --warnings-as-errors='*'
+    echo "===== clang-tidy (advisory: remaining sources)"
     git ls-files 'src/*.cc' 'tools/*.cc' |
+        grep -v -e '^src/verify/' -e '^src/sim/' |
         xargs clang-tidy -p "$BUILD" --quiet
 else
     echo "===== clang-tidy not installed; skipping lint"

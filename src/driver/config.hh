@@ -69,6 +69,14 @@ struct RunConfig
     compiler::VerifyMode verifyPlans = compiler::VerifyMode::Error;
 
     /**
+     * Record invocation profiles and run the plan analyses
+     * (src/verify/analysis.hh) over every compiled kernel. Off by
+     * default: profile recording costs a little per invoke and the
+     * perf gate measures the plain path.
+     */
+    bool analyzePlans = false;
+
+    /**
      * Actor predecode control: -1 follows the process-wide
      * engine::setPredecodeEnabled toggle, 0 forces the microcode
      * interpreter, 1 forces the predecoded stream. Differential

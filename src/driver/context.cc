@@ -53,6 +53,8 @@ ExecContext::invoke(const compiler::Kernel &kernel,
                     const std::vector<compiler::Word> &params)
 {
     CompiledKernel &ck = compiled(kernel);
+    if (_config.analyzePlans || _probe)
+        recordProfile(ck, kernel, bindings, params);
     const sim::Tick t0 = _now;
     if (ck.host) {
         engine::HostRunResult res = ck.host->run(bindings, params, _now);
@@ -140,6 +142,63 @@ ExecContext::hostStoreF(engine::ArrayRef &arr, std::uint64_t i, double v)
     _hostMemOps += 1.0;
     _sys.acct().addEvents(energy::Component::OoOCore, 1.0);
     arr.setF(i, v);
+}
+
+void
+ExecContext::recordProfile(CompiledKernel &ck,
+                           const compiler::Kernel &kernel,
+                           const std::vector<engine::ArrayRef> &bindings,
+                           const std::vector<compiler::Word> &params)
+{
+    std::vector<std::int64_t> param_ints(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+        param_ints[i] = params[i].i;
+    std::vector<std::uint64_t> object_elems(bindings.size());
+    for (std::size_t i = 0; i < bindings.size(); ++i)
+        object_elems[i] = bindings[i].count;
+    bool aliased = false;
+    for (std::size_t i = 0; i < bindings.size() && !aliased; ++i) {
+        const auto &a = bindings[i];
+        const std::uint64_t a_end = a.base + a.count * a.elemBytes;
+        for (std::size_t j = i + 1; j < bindings.size(); ++j) {
+            const auto &b = bindings[j];
+            const std::uint64_t b_end = b.base + b.count * b.elemBytes;
+            if (a.base < b_end && b.base < a_end) {
+                aliased = true;
+                break;
+            }
+        }
+    }
+    ck.profile.record(kernel, param_ints, object_elems, aliased);
+}
+
+std::vector<verify::FactStore>
+ExecContext::analyzeAll() const
+{
+    std::vector<verify::FactStore> all;
+    for (const auto &[name, ck] : _kernels) {
+        verify::AnalysisOptions ao;
+        ao.channelCapacity = _config.compileOptions().channelCapacity;
+        ao.mesh = _sys.hier().mesh().params();
+        ao.profile = &ck.profile;
+        if (ck.runtime) {
+            // The engine's instantiated topology is authoritative for
+            // per-channel FIFO depths.
+            for (const engine::DataflowEngine::ChannelEdge &e :
+                 ck.runtime->engine().channelTopology()) {
+                if (e.id < 0)
+                    continue;
+                if (static_cast<std::size_t>(e.id) >=
+                    ao.channelCapacities.size())
+                    ao.channelCapacities.resize(
+                        static_cast<std::size_t>(e.id) + 1, 0);
+                ao.channelCapacities[static_cast<std::size_t>(e.id)] =
+                    e.capacity;
+            }
+        }
+        all.push_back(verify::analyzePlan(*ck.plan, ao));
+    }
+    return all;
 }
 
 const compiler::OffloadPlan *

@@ -20,6 +20,7 @@
 #include "src/driver/system.hh"
 #include "src/engine/host_exec.hh"
 #include "src/offload/runtime.hh"
+#include "src/verify/analysis.hh"
 
 namespace distda::driver
 {
@@ -92,6 +93,15 @@ class ExecContext
     const compiler::OffloadPlan &compileOnly(
         const compiler::Kernel &kernel);
 
+    /**
+     * Run the plan analyses over every kernel compiled so far, against
+     * the invocation profiles recorded during the run (kernel-name
+     * order). Profiles are recorded when config().analyzePlans is set
+     * or a probe is attached; otherwise the analyses fall back to
+     * static-only facts.
+     */
+    std::vector<verify::FactStore> analyzeAll() const;
+
     /** Collect final metrics (workload/validated filled by runner). */
     Metrics finish();
 
@@ -102,9 +112,14 @@ class ExecContext
         std::unique_ptr<offload::OffloadRuntime> runtime;
         std::unique_ptr<engine::HostExecutor> host;
         int probeTrack = -1; ///< per-kernel "invoke" span track
+        verify::InvocationProfile profile;
     };
 
     CompiledKernel &compiled(const compiler::Kernel &kernel);
+    void recordProfile(CompiledKernel &ck,
+                       const compiler::Kernel &kernel,
+                       const std::vector<engine::ArrayRef> &bindings,
+                       const std::vector<compiler::Word> &params);
 
     System &_sys;
     RunConfig _config;

@@ -51,7 +51,8 @@ metricsJson(sim::JsonWriter &w, const Metrics &m)
 } // namespace
 
 std::string
-buildRunReport(const Metrics &m, System &sys, const sim::Probe *probe)
+buildRunReport(const Metrics &m, System &sys, const sim::Probe *probe,
+               const std::vector<verify::FactStore> *analysis)
 {
     // Fresh groups per report: exportStats() registers stat names, and
     // Group panics on duplicates, so the tree must not be reused.
@@ -87,15 +88,23 @@ buildRunReport(const Metrics &m, System &sys, const sim::Probe *probe)
             static_cast<std::uint64_t>(probe->numTracks()));
         w.endObject();
     }
+    if (analysis) {
+        w.key("analysis").beginArray();
+        for (const verify::FactStore &f : *analysis)
+            f.json(w);
+        w.endArray();
+    }
     w.endObject();
     return w.str();
 }
 
 bool
 writeRunReport(const std::string &path, const Metrics &m, System &sys,
-               const sim::Probe *probe)
+               const sim::Probe *probe,
+               const std::vector<verify::FactStore> *analysis)
 {
-    return sim::writeTextFile(path, buildRunReport(m, sys, probe));
+    return sim::writeTextFile(path,
+                              buildRunReport(m, sys, probe, analysis));
 }
 
 } // namespace distda::driver

@@ -11,9 +11,11 @@
 #define DISTDA_DRIVER_REPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "src/driver/metrics.hh"
 #include "src/driver/system.hh"
+#include "src/verify/facts.hh"
 
 namespace distda::sim
 {
@@ -26,14 +28,18 @@ namespace distda::driver
 /**
  * Serialize a run report as JSON text. @p probe may be null (report
  * without timeline-derived distributions); @p sys supplies the
- * hierarchy and energy stats trees.
+ * hierarchy and energy stats trees. @p analysis (optional) adds an
+ * "analysis" section with one fact store per analyzed kernel.
  */
-std::string buildRunReport(const Metrics &m, System &sys,
-                           const sim::Probe *probe);
+std::string
+buildRunReport(const Metrics &m, System &sys, const sim::Probe *probe,
+               const std::vector<verify::FactStore> *analysis = nullptr);
 
 /** buildRunReport() written to @p path; false (with warn) on error. */
-bool writeRunReport(const std::string &path, const Metrics &m,
-                    System &sys, const sim::Probe *probe);
+bool
+writeRunReport(const std::string &path, const Metrics &m, System &sys,
+               const sim::Probe *probe,
+               const std::vector<verify::FactStore> *analysis = nullptr);
 
 } // namespace distda::driver
 

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/driver/report.hh"
+#include "src/sim/json.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/probe.hh"
 #include "src/verify/verify.hh"
@@ -60,15 +61,22 @@ runWorkload(const std::string &workload, const RunConfig &config,
     if (probe) {
         if (!opts.obs.timelinePath.empty())
             probe->writeChromeTrace(opts.obs.timelinePath);
-        if (!opts.obs.statsJsonPath.empty())
-            writeRunReport(opts.obs.statsJsonPath, m, sys, probe.get());
+        if (!opts.obs.statsJsonPath.empty()) {
+            // The probe implies invocation profiles were recorded, so
+            // the analysis section rides along for free.
+            const std::vector<verify::FactStore> facts =
+                ctx.analyzeAll();
+            writeRunReport(opts.obs.statsJsonPath, m, sys, probe.get(),
+                           &facts);
+        }
     }
     return m;
 }
 
 int
 verifyWorkload(const std::string &workload, const RunConfig &config,
-               const RunOptions &opts)
+               const RunOptions &opts,
+               std::vector<KernelVerifyResult> *collect)
 {
     auto wl = workloads::makeWorkload(workload, opts.scale);
 
@@ -102,8 +110,60 @@ verifyWorkload(const std::string &workload, const RunConfig &config,
         if (!report.empty())
             std::printf("%s", report.str().c_str());
         errors += report.errorCount();
+        if (collect) {
+            KernelVerifyResult r;
+            r.workload = workload;
+            r.config = archModelName(config.model);
+            r.kernel = kernel->name;
+            r.partitions = plan.partitions.size();
+            r.channels = plan.channels.size();
+            r.report = report;
+            collect->push_back(std::move(r));
+        }
     }
     return errors;
+}
+
+int
+analyzeWorkload(const std::string &workload, const RunConfig &config,
+                const RunOptions &opts, sim::JsonWriter *json)
+{
+    RunConfig cfg = config;
+    cfg.analyzePlans = true;
+
+    auto wl = workloads::makeWorkload(workload, opts.scale);
+    SystemParams sp;
+    sp.arenaBytes = wl->arenaBytes();
+    sp.allocAffinity = cfg.allocAffinity();
+    System sys(sp);
+    wl->setup(sys);
+
+    ExecContext ctx(sys, cfg);
+    wl->run(ctx);
+
+    const std::vector<verify::FactStore> facts = ctx.analyzeAll();
+    int violations = 0;
+    for (const verify::FactStore &f : facts)
+        violations += f.violations();
+
+    if (json) {
+        json->beginObject();
+        json->key("workload").value(workload);
+        json->key("config").value(archModelName(cfg.model));
+        json->key("kernels").beginArray();
+        for (const verify::FactStore &f : facts)
+            f.json(*json);
+        json->endArray();
+        json->endObject();
+    } else {
+        std::printf("%s under %s: %zu kernel(s) analyzed, "
+                    "%d violation(s)\n",
+                    workload.c_str(), archModelName(cfg.model),
+                    facts.size(), violations);
+        for (const verify::FactStore &f : facts)
+            std::printf("%s", f.str().c_str());
+    }
+    return violations;
 }
 
 double

@@ -13,6 +13,12 @@
 #include "src/driver/config.hh"
 #include "src/driver/metrics.hh"
 #include "src/sim/ticks.hh"
+#include "src/verify/diag.hh"
+
+namespace distda::sim
+{
+class JsonWriter;
+}
 
 namespace distda::driver
 {
@@ -48,13 +54,38 @@ struct RunOptions
 Metrics runWorkload(const std::string &workload, const RunConfig &config,
                     const RunOptions &opts = RunOptions{});
 
+/** Structured verification outcome of one kernel (for --verify-json). */
+struct KernelVerifyResult
+{
+    std::string workload;
+    std::string config;
+    std::string kernel;
+    std::size_t partitions = 0;
+    std::size_t channels = 0;
+    verify::Report report;
+};
+
 /**
  * Compile every kernel of @p workload under @p config and statically
  * verify the resulting plans without executing anything. Prints each
  * diagnostic to stdout and returns the total error count (0 = clean).
+ * @p collect (optional) additionally receives one structured result
+ * per kernel for JSON export.
  */
 int verifyWorkload(const std::string &workload, const RunConfig &config,
-                   const RunOptions &opts = RunOptions{});
+                   const RunOptions &opts = RunOptions{},
+                   std::vector<KernelVerifyResult> *collect = nullptr);
+
+/**
+ * Run @p workload under @p config with invocation profiling on, then
+ * run the plan analyses (src/verify/analysis.hh) over every compiled
+ * kernel. With @p json null the fact stores print to stdout as text;
+ * otherwise one {workload, config, kernels: [...]} object is appended
+ * to the writer. Returns the total count of Violated facts.
+ */
+int analyzeWorkload(const std::string &workload, const RunConfig &config,
+                    const RunOptions &opts = RunOptions{},
+                    sim::JsonWriter *json = nullptr);
 
 /** Geometric mean helper for the summary rows. */
 double geomean(const std::vector<double> &values);

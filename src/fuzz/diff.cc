@@ -6,10 +6,12 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/compiler/plan.hh"
 #include "src/driver/context.hh"
 #include "src/driver/system.hh"
 #include "src/fuzz/gen.hh"
 #include "src/sim/logging.hh"
+#include "src/verify/analysis.hh"
 
 namespace distda::fuzz
 {
@@ -144,6 +146,238 @@ checkSanity(const PathResult &r, std::vector<Finding> &findings)
     }
 }
 
+/** Concrete view of one invocation, for re-checking Proven claims. */
+struct InvView
+{
+    std::size_t kernel = 0;
+    std::vector<std::int64_t> params; ///< parameter integer views
+    std::vector<std::uint64_t> elems; ///< kernel-object-id order
+    std::int64_t trip = 0;
+};
+
+/**
+ * The byte image every path starts from: initCaseObject is
+ * deterministic in (case, object), so one throwaway system produces
+ * the reference initial state for the write-footprint oracle.
+ */
+std::vector<std::vector<std::uint8_t>>
+initialObjectBytes(const FuzzCase &c)
+{
+    SystemParams sp;
+    sp.arenaBytes = arenaBytesFor(c);
+    System sys(sp);
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(c.objects.size());
+    for (std::size_t i = 0; i < c.objects.size(); ++i) {
+        const CaseObject &o = c.objects[i];
+        engine::ArrayRef a =
+            sys.alloc(o.name, o.elemCount, o.elemBytes, o.isFloat);
+        initCaseObject(c, i, a);
+        std::vector<std::uint8_t> bytes(a.sizeBytes());
+        a.mem->copyOut(a.base, bytes.data(), bytes.size());
+        out.push_back(std::move(bytes));
+    }
+    return out;
+}
+
+/**
+ * The static-analysis soundness oracle: rebuild each kernel's
+ * invocation profile from the case, run the plan analyses
+ * (src/verify/analysis.hh), and hold every decided fact against what
+ * actually happened.
+ *   - A Violated verdict of any kind is a contradiction outright: the
+ *     generator proves every access in bounds and every case runs to
+ *     completion on at least the host path.
+ *   - Proven affine bounds are re-derived numerically per invocation;
+ *     an element range escaping the object or the claimed [lo, hi] is
+ *     a contradiction.
+ *   - Liveness Proven for every invoked kernel forbids a deadlock
+ *     panic on the analyzed configuration (Dist-DA-IO), and Violated
+ *     forbids a clean run.
+ *   - Objects outside every kernel's write footprint must come out of
+ *     every surviving path byte-identical to their initial image.
+ */
+void
+crossCheckAnalysis(const FuzzCase &c,
+                   const std::vector<PathResult> &paths,
+                   std::vector<Finding> &findings)
+{
+    auto flag = [&](std::string what) {
+        findings.push_back(Finding{Finding::Kind::AnalysisContradiction,
+                                   std::move(what)});
+    };
+
+    // Per-invocation concrete views, joined into per-kernel profiles
+    // exactly as the driver records them (validateCase already
+    // rejected aliased bindings, so aliased is always false here).
+    std::vector<InvView> views;
+    views.reserve(c.invocations.size());
+    std::vector<verify::InvocationProfile> profiles(c.kernels.size());
+    for (const Invocation &inv : c.invocations) {
+        InvView v;
+        v.kernel = static_cast<std::size_t>(inv.kernel);
+        v.params.reserve(inv.paramBits.size());
+        for (std::uint64_t bits : inv.paramBits) {
+            compiler::Word w;
+            std::memcpy(&w, &bits, sizeof(w));
+            v.params.push_back(w.i);
+        }
+        v.elems.reserve(inv.objects.size());
+        for (int co : inv.objects)
+            v.elems.push_back(
+                c.objects[static_cast<std::size_t>(co)].elemCount);
+        v.trip = c.tripOf(inv);
+        profiles[v.kernel].record(c.kernels[v.kernel], v.params,
+                                  v.elems, false);
+        views.push_back(std::move(v));
+    }
+
+    // Analyze under the configuration the Dist-DA-IO paths ran.
+    RunConfig dist;
+    dist.model = ArchModel::DistDA_IO;
+    compiler::CompileOptions co = dist.compileOptions();
+    co.verifyPlans = compiler::VerifyMode::Off;
+
+    bool liveness_proven = true; // across every invoked kernel
+    bool liveness_violated = false;
+    std::vector<std::uint8_t> written(c.objects.size(), 0);
+    // Conservative footprint fallback: mark every object one kernel's
+    // invocations bind as written (used when its analysis crashes).
+    auto writeAll = [&](std::size_t ki) {
+        for (const Invocation &inv : c.invocations) {
+            if (static_cast<std::size_t>(inv.kernel) != ki)
+                continue;
+            for (int co_idx : inv.objects)
+                written[static_cast<std::size_t>(co_idx)] = 1;
+        }
+    };
+
+    for (std::size_t ki = 0; ki < c.kernels.size(); ++ki) {
+        if (profiles[ki].invocations == 0)
+            continue; // uninvoked kernels constrain nothing dynamic
+        const compiler::Kernel &k = c.kernels[ki];
+        verify::FactStore facts;
+        try {
+            ScopedFailureCapture capture;
+            const compiler::OffloadPlan plan =
+                compiler::compileKernel(k, co);
+            verify::AnalysisOptions ao;
+            ao.channelCapacity = co.channelCapacity;
+            ao.profile = &profiles[ki];
+            facts = verify::analyzePlan(plan, ao);
+        } catch (const SimFailure &f) {
+            flag(strfmt("kernel '%s': analysis crashed: %s",
+                        k.name.c_str(), f.what()));
+            writeAll(ki);
+            liveness_proven = false;
+            continue;
+        }
+
+        for (const verify::BoundsFact &f : facts.bounds) {
+            if (f.verdict == verify::Verdict::Violated) {
+                flag(strfmt("kernel '%s': node %d (%s %s) claimed "
+                            "Violated on a case valid by construction",
+                            k.name.c_str(), f.node,
+                            f.affine ? "affine" : "indirect",
+                            f.store ? "store" : "load"));
+                continue;
+            }
+            if (f.verdict != verify::Verdict::Proven || !f.affine)
+                continue;
+            const compiler::Node &n = k.node(f.node);
+            for (const InvView &v : views) {
+                if (v.kernel != ki || v.trip < 1)
+                    continue;
+                const verify::Interval r = verify::affineRangeExact(
+                    n.affine, v.params, v.trip);
+                const std::uint64_t elems =
+                    f.objId >= 0 && static_cast<std::size_t>(f.objId) <
+                                        v.elems.size()
+                        ? v.elems[static_cast<std::size_t>(f.objId)]
+                        : 0;
+                if (!r.within(elems)) {
+                    flag(strfmt(
+                        "kernel '%s': node %d Proven in bounds but an "
+                        "invocation touches [%lld, %lld] of a "
+                        "%llu-element object",
+                        k.name.c_str(), f.node,
+                        static_cast<long long>(r.lo),
+                        static_cast<long long>(r.hi),
+                        static_cast<unsigned long long>(elems)));
+                    break;
+                }
+                if (f.rangeKnown && (r.lo < f.lo || r.hi > f.hi)) {
+                    flag(strfmt(
+                        "kernel '%s': node %d claims range [%lld, "
+                        "%lld] but an invocation touches [%lld, %lld]",
+                        k.name.c_str(), f.node,
+                        static_cast<long long>(f.lo),
+                        static_cast<long long>(f.hi),
+                        static_cast<long long>(r.lo),
+                        static_cast<long long>(r.hi)));
+                    break;
+                }
+            }
+        }
+
+        for (int obj : facts.purity.writtenObjects) {
+            for (const Invocation &inv : c.invocations) {
+                if (static_cast<std::size_t>(inv.kernel) != ki)
+                    continue;
+                if (obj >= 0 &&
+                    static_cast<std::size_t>(obj) < inv.objects.size())
+                    written[static_cast<std::size_t>(
+                        inv.objects[static_cast<std::size_t>(obj)])] = 1;
+            }
+        }
+
+        if (facts.deadlockFree == verify::Verdict::Violated)
+            liveness_violated = true;
+        else if (facts.deadlockFree != verify::Verdict::Proven)
+            liveness_proven = false;
+    }
+
+    // Liveness verdicts bind only the configuration they were computed
+    // for, so compare against the Dist-DA-IO paths alone.
+    for (const PathResult &r : paths) {
+        if (r.path.rfind("Dist-DA-IO", 0) != 0)
+            continue;
+        const bool deadlocked =
+            r.crashed &&
+            r.failure.find("deadlock") != std::string::npos;
+        if (deadlocked && liveness_proven)
+            flag(strfmt("%s deadlocked but every kernel's liveness "
+                        "is Proven",
+                        r.path.c_str()));
+        if (!r.crashed && liveness_violated)
+            flag(strfmt("liveness claimed Violated but %s ran to "
+                        "completion",
+                        r.path.c_str()));
+    }
+
+    bool any_unwritten = false;
+    for (std::size_t oi = 0; oi < c.objects.size(); ++oi)
+        any_unwritten = any_unwritten || !written[oi];
+    if (!any_unwritten)
+        return;
+    const std::vector<std::vector<std::uint8_t>> initial =
+        initialObjectBytes(c);
+    for (const PathResult &r : paths) {
+        if (r.crashed)
+            continue;
+        for (std::size_t oi = 0; oi < c.objects.size(); ++oi) {
+            if (written[oi])
+                continue;
+            if (r.objectBytes[oi] != initial[oi]) {
+                flag(strfmt("object '%s' changed under %s but no "
+                            "kernel's write footprint contains it",
+                            c.objects[oi].name.c_str(),
+                            r.path.c_str()));
+            }
+        }
+    }
+}
+
 std::string
 stripDigits(const std::string &s)
 {
@@ -175,6 +409,8 @@ findingKindName(Finding::Kind k)
       case Finding::Kind::Crash: return "crash";
       case Finding::Kind::Divergence: return "divergence";
       case Finding::Kind::StatAnomaly: return "stat-anomaly";
+      case Finding::Kind::AnalysisContradiction:
+        return "analysis-contradiction";
       default: return "?";
     }
 }
@@ -265,6 +501,14 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
             reference = &r;
         }
     }
+    // Static-vs-dynamic soundness oracle (independent of the
+    // cross-path comparison, so it runs even when paths crashed).
+    if (opts.analyze) {
+        if (trace)
+            std::fprintf(stderr, "    [diff] analyze\n");
+        crossCheckAnalysis(c, out.paths, out.findings);
+    }
+
     if (!reference)
         return out; // everything crashed; nothing to compare
 

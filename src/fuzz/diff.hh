@@ -9,6 +9,10 @@
  *   - interpreter-vs-predecode metrics, field for field,
  *   - stat sanity invariants (positive time, finite non-negative
  *     counters),
+ *   - static plan-analysis facts (src/verify/analysis.hh) against the
+ *     dynamic outcome: a Proven fact contradicted by execution, or a
+ *     Violated fact on a case that is valid by construction, fails the
+ *     campaign — the fuzzer is the analyses' soundness oracle,
  * with channel-token conservation enforced inside the engine itself.
  * Any asymmetric crash, mismatch, or anomaly is a finding.
  */
@@ -48,6 +52,8 @@ struct Finding
         Crash,       ///< a path panicked/fataled (or all did)
         Divergence,  ///< paths disagree on memory/results/metrics
         StatAnomaly, ///< impossible statistics on one path
+        /** A dynamic observation contradicts a static analysis fact. */
+        AnalysisContradiction,
     };
     Kind kind = Kind::Crash;
     std::string detail;
@@ -61,6 +67,12 @@ struct DiffOptions
     bool cgra = true;
     /** Include the monolithic (Mono-CA / Mono-DA-IO) paths. */
     bool mono = true;
+    /**
+     * Cross-check the plan analyses against the dynamic outcome:
+     * bounds verdicts, claimed access ranges, liveness, and write
+     * footprints (unwritten objects must end byte-identical).
+     */
+    bool analyze = true;
 };
 
 /** Result of one differential run. */

@@ -4,71 +4,27 @@
  * actor/channel graph implied by the partition plan. Per channel, the
  * producer and consumer must agree on the per-iteration token count
  * (otherwise occupancy drifts until the FIFO wedges or starves); no
- * channel may have zero capacity; and the per-iteration channel-op
- * dependence graph (program order within each partition, plus
- * produce -> consume across each channel) must be acyclic — a cycle
- * means every involved actor waits on another before it would ever
- * produce, a first-iteration deadlock no FIFO depth can fix.
+ * channel may have zero capacity; and the marked-graph model of the
+ * channel ops (src/verify/token_graph.hh) must be live — a zero-token
+ * cycle through program-order and data edges alone is a
+ * first-iteration deadlock no FIFO depth can fix, while a cycle that
+ * closes only through a capacity back-edge means the configured
+ * decoupling depth is too shallow for this plan's token schedule.
  */
 
-#include <map>
-#include <vector>
-
 #include "src/verify/checks.hh"
+#include "src/verify/token_graph.hh"
 
 namespace distda::verify
 {
 
 using compiler::ChannelDef;
-using compiler::MicroInst;
-using compiler::MicroKind;
 using compiler::OffloadPlan;
-using compiler::Partition;
 
 namespace
 {
 
 constexpr const char *passName = "channels";
-
-/** One channel endpoint operation in some partition's program. */
-struct ChanOp
-{
-    int partition = -1;
-    std::size_t pc = 0;
-    int channel = -1;
-    bool isProduce = false;
-};
-
-/** Channel-op list per partition, in program order. */
-std::vector<std::vector<ChanOp>>
-collectOps(const OffloadPlan &plan)
-{
-    std::vector<std::vector<ChanOp>> ops(plan.partitions.size());
-    for (const Partition &part : plan.partitions) {
-        for (std::size_t pc = 0; pc < part.program.insts.size(); ++pc) {
-            const MicroInst &inst = part.program.insts[pc];
-            if (inst.kind != MicroKind::Consume &&
-                inst.kind != MicroKind::Produce)
-                continue;
-            ChanOp op;
-            op.partition = part.id;
-            op.pc = pc;
-            op.isProduce = inst.kind == MicroKind::Produce;
-            const auto &table =
-                op.isProduce ? part.outChannels : part.inChannels;
-            if (inst.slot >= 0 &&
-                inst.slot < static_cast<int>(table.size()))
-                op.channel = table[static_cast<std::size_t>(inst.slot)];
-            if (op.channel >= 0 &&
-                op.channel >= static_cast<int>(plan.channels.size()))
-                op.channel = -1; // bad slot: microcode pass reports it
-            if (part.id >= 0 &&
-                part.id < static_cast<int>(ops.size()))
-                ops[static_cast<std::size_t>(part.id)].push_back(op);
-        }
-    }
-    return ops;
-}
 
 void
 checkTokenBalance(const OffloadPlan &plan,
@@ -111,79 +67,30 @@ checkTokenBalance(const OffloadPlan &plan,
 }
 
 void
-checkDependenceCycles(const OffloadPlan &plan,
-                      const std::vector<std::vector<ChanOp>> &ops,
-                      Report &report)
+checkLiveness(const OffloadPlan &plan, const Options &opts,
+              Report &report)
 {
-    // Node ids: flatten the per-partition op lists.
-    std::vector<const ChanOp *> nodes;
-    std::vector<std::vector<int>> succ;
-    std::map<std::pair<int, std::size_t>, int> id_of;
-    for (const auto &part_ops : ops) {
-        for (const ChanOp &op : part_ops) {
-            id_of[{op.partition, op.pc}] =
-                static_cast<int>(nodes.size());
-            nodes.push_back(&op);
-        }
+    const TokenGraph graph(plan);
+    int partition = -1;
+    if (graph.structuralDeadlock(&partition)) {
+        report.add(Severity::Error, passName, partLoc(plan, partition),
+                   "channel-dependence cycle: partitions wait "
+                   "on each other before any token is "
+                   "produced (first-iteration deadlock)");
+        return;
     }
-    succ.resize(nodes.size());
-
-    // Program order: an op depends on its predecessor completing.
-    for (const auto &part_ops : ops) {
-        for (std::size_t i = 1; i < part_ops.size(); ++i) {
-            succ[static_cast<std::size_t>(id_of[{part_ops[i - 1].partition,
-                                                 part_ops[i - 1].pc}])]
-                .push_back(id_of[{part_ops[i].partition,
-                                  part_ops[i].pc}]);
-        }
-    }
-    // Data: the first consume of a channel waits on its first produce.
-    std::map<int, int> first_produce, first_consume;
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        const ChanOp &op = *nodes[i];
-        if (op.channel < 0)
-            continue;
-        auto &table = op.isProduce ? first_produce : first_consume;
-        if (!table.count(op.channel))
-            table[op.channel] = static_cast<int>(i);
-    }
-    for (const auto &[ch, prod] : first_produce) {
-        auto it = first_consume.find(ch);
-        if (it != first_consume.end())
-            succ[static_cast<std::size_t>(prod)].push_back(it->second);
-    }
-
-    // Iterative DFS cycle detection (colors: 0 white, 1 grey, 2 black).
-    std::vector<int> color(nodes.size(), 0);
-    std::vector<int> stack;
-    for (std::size_t root = 0; root < nodes.size(); ++root) {
-        if (color[root] != 0)
-            continue;
-        stack.push_back(static_cast<int>(root));
-        while (!stack.empty()) {
-            const int v = stack.back();
-            if (color[static_cast<std::size_t>(v)] == 0) {
-                color[static_cast<std::size_t>(v)] = 1;
-                for (int w : succ[static_cast<std::size_t>(v)]) {
-                    if (color[static_cast<std::size_t>(w)] == 1) {
-                        report.add(
-                            Severity::Error, passName,
-                            partLoc(plan, nodes[static_cast<std::size_t>(
-                                                    w)]
-                                              ->partition),
-                            "channel-dependence cycle: partitions wait "
-                            "on each other before any token is "
-                            "produced (first-iteration deadlock)");
-                        return;
-                    }
-                    if (color[static_cast<std::size_t>(w)] == 0)
-                        stack.push_back(w);
-                }
-            } else {
-                color[static_cast<std::size_t>(v)] = 2;
-                stack.pop_back();
-            }
-        }
+    if (!graph.balanced())
+        return; // token-balance errors already explain the drift
+    std::vector<int> caps(plan.channels.size(), opts.channelCapacity);
+    int channel = -1;
+    if (graph.deadlocksWith(caps, &channel)) {
+        const int need =
+            channel >= 0 ? graph.minSafeCapacity(channel) : -1;
+        report.add(Severity::Error, passName, kernelLoc(plan),
+                   "channel-dependence cycle under capacity %d "
+                   "(capacity deadlock): channel %d needs capacity "
+                   ">= %d",
+                   opts.channelCapacity, channel, need);
     }
 }
 
@@ -198,10 +105,11 @@ checkChannels(const OffloadPlan &plan, const Options &opts,
                    "%zu channels with zero decoupling capacity: every "
                    "produce blocks forever",
                    plan.channels.size());
+        return; // the liveness model degenerates at capacity zero
     }
-    const auto ops = collectOps(plan);
+    const auto ops = collectChannelOps(plan);
     checkTokenBalance(plan, ops, report);
-    checkDependenceCycles(plan, ops, report);
+    checkLiveness(plan, opts, report);
 }
 
 } // namespace distda::verify

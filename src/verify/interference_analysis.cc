@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cluster interference/lookahead analysis: partitions the plan's
+ * actors into channel-connected components (two clusters in different
+ * components can never affect each other within a run) and derives the
+ * conservative lookahead window a cluster-partitioned parallel
+ * simulator may advance without synchronizing — no cross-cluster
+ * effect travels faster than one minimum-latency mesh transfer, i.e.
+ * one hop of routing plus the serialization of the smallest channel
+ * element.
+ */
+
+#include <algorithm>
+
+#include "src/sim/ticks.hh"
+#include "src/verify/analysis.hh"
+
+namespace distda::verify
+{
+
+using compiler::ChannelDef;
+using compiler::OffloadPlan;
+
+namespace
+{
+
+int
+findRoot(std::vector<int> &parent, int v)
+{
+    while (parent[static_cast<std::size_t>(v)] != v) {
+        parent[static_cast<std::size_t>(v)] =
+            parent[static_cast<std::size_t>(
+                parent[static_cast<std::size_t>(v)])];
+        v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+}
+
+} // namespace
+
+void
+analyzeInterference(const OffloadPlan &plan, const AnalysisOptions &opts,
+                    FactStore &facts)
+{
+    InterferenceFact f;
+    const int n = static_cast<int>(plan.partitions.size());
+    f.numPartitions = n;
+    f.interacts.assign(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(n),
+                       0);
+    if (n == 0) {
+        f.components = 0;
+        f.lookaheadUnbounded = true;
+        facts.interference = f;
+        return;
+    }
+
+    std::vector<int> parent(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        parent[static_cast<std::size_t>(i)] = i;
+
+    bool any_cross = false;
+    std::uint64_t min_elem_bytes = 0;
+    for (const ChannelDef &ch : plan.channels) {
+        if (ch.srcPartition < 0 || ch.srcPartition >= n ||
+            ch.dstPartition < 0 || ch.dstPartition >= n)
+            continue; // host endpoints do not couple clusters
+        const int a = findRoot(parent, ch.srcPartition);
+        const int b = findRoot(parent, ch.dstPartition);
+        if (a != b)
+            parent[static_cast<std::size_t>(a)] = b;
+        const std::uint64_t bytes = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(ch.bits) / 8);
+        min_elem_bytes = any_cross
+                             ? std::min(min_elem_bytes, bytes)
+                             : bytes;
+        any_cross = true;
+    }
+
+    std::vector<int> roots;
+    for (int i = 0; i < n; ++i)
+        roots.push_back(findRoot(parent, i));
+    std::vector<int> uniq = roots;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    f.components = static_cast<int>(uniq.size());
+
+    for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+            if (a == b || roots[static_cast<std::size_t>(a)] ==
+                              roots[static_cast<std::size_t>(b)])
+                f.interacts[static_cast<std::size_t>(a * n + b)] = 1;
+        }
+    }
+
+    if (!any_cross) {
+        f.lookaheadUnbounded = true;
+        f.lookaheadTicks = 0;
+    } else {
+        // Fastest possible cross-cluster effect: one mesh hop of
+        // routing plus the serialization of the smallest element.
+        const std::uint64_t hz = std::max<std::uint64_t>(
+            1, opts.mesh.clockHz);
+        const sim::Tick period =
+            static_cast<sim::Tick>(sim::ticksPerSecond / hz);
+        const std::uint64_t link =
+            std::max<std::uint64_t>(1, opts.mesh.linkBytes);
+        const std::uint64_t flits =
+            (min_elem_bytes + link - 1) / link;
+        f.lookaheadTicks =
+            static_cast<sim::Tick>(opts.mesh.hopCycles) * period +
+            flits * period;
+    }
+    facts.interference = f;
+}
+
+} // namespace distda::verify

@@ -8,7 +8,7 @@
  *   distda_fuzz [--seed=<n>] [--runs=<k>] [--jobs=<n>]
  *               [--shape=parallel|pipeline|nonpart|multi|cross|mixed]
  *               [--out=<dir>] [--no-shrink] [--no-cgra] [--no-mono]
- *               [--quiet]
+ *               [--no-analyze] [--quiet]
  *   distda_fuzz --replay=<file.repro>
  *   distda_fuzz --corpus=<dir>
  *
@@ -87,6 +87,8 @@ main(int argc, char **argv)
             opts.diff.cgra = false;
         } else if (arg == "--no-mono") {
             opts.diff.mono = false;
+        } else if (arg == "--no-analyze") {
+            opts.diff.analyze = false;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg.rfind("--replay=", 0) == 0) {

@@ -11,6 +11,7 @@
  *              [--no-combining] [--no-retention]
  *              [--buffer=<bytes>] [--channel=<elems>]
  *              [--verify[=warn|error|off]] [--verify-only]
+ *              [--verify-json=<file>] [--analyze[=json]]
  *              [--timeline=<file>] [--stats-json=<file>]
  *              [--stats-interval=<ticks>] [--report-dir=<dir>]
  *
@@ -23,6 +24,14 @@
  * compilation (default: error). --verify-only compiles every kernel,
  * prints all verifier diagnostics and exits without simulating;
  * the exit status is nonzero iff any error-severity finding exists.
+ * --verify-json=<file> implies --verify-only and additionally writes
+ * every diagnostic as structured JSON to the file.
+ *
+ * --analyze runs each selected (workload, config) pair once with
+ * invocation profiling on and prints the plan-analysis facts (bounds,
+ * channel liveness, purity, interference; see DESIGN.md §6) per
+ * kernel; --analyze=json emits one JSON document instead. The exit
+ * status is nonzero iff any fact is Violated.
  *
  * Observability (all off by default, zero overhead when off):
  * --timeline= writes a Chrome trace-event JSON timeline (open in
@@ -55,6 +64,7 @@
 
 #include "src/driver/config.hh"
 #include "src/driver/sweep.hh"
+#include "src/sim/json.hh"
 #include "src/workloads/workload.hh"
 
 using namespace distda;
@@ -160,6 +170,9 @@ main(int argc, char **argv)
     driver::SweepOptions sweep_opts;
     bool csv = false;
     bool verify_only = false;
+    std::string verify_json;
+    bool analyze = false;
+    bool analyze_json = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -199,6 +212,14 @@ main(int argc, char **argv)
             cfg.verifyPlans = parseVerifyMode(arg.substr(9));
         } else if (arg == "--verify-only") {
             verify_only = true;
+        } else if (arg.rfind("--verify-json=", 0) == 0) {
+            verify_json = arg.substr(14);
+            verify_only = true;
+        } else if (arg == "--analyze") {
+            analyze = true;
+        } else if (arg == "--analyze=json") {
+            analyze = true;
+            analyze_json = true;
         } else if (arg.rfind("--timeline=", 0) == 0) {
             opts.obs.timelinePath = arg.substr(11);
         } else if (arg.rfind("--stats-json=", 0) == 0) {
@@ -230,13 +251,76 @@ main(int argc, char **argv)
         // Verification prints per-kernel diagnostics as it goes, so it
         // stays serial; it compiles without simulating and is fast.
         int errors = 0;
+        std::vector<driver::KernelVerifyResult> collected;
         for (const std::string &w : workload_names) {
             for (driver::ArchModel m : models) {
                 cfg.model = m;
-                errors += driver::verifyWorkload(w, cfg, opts);
+                errors += driver::verifyWorkload(
+                    w, cfg, opts,
+                    verify_json.empty() ? nullptr : &collected);
             }
         }
+        if (!verify_json.empty()) {
+            sim::JsonWriter jw;
+            jw.beginObject();
+            jw.key("results").beginArray();
+            for (const driver::KernelVerifyResult &r : collected) {
+                jw.beginObject();
+                jw.key("workload").value(r.workload);
+                jw.key("config").value(r.config);
+                jw.key("kernel").value(r.kernel);
+                jw.key("partitions").value(
+                    static_cast<std::uint64_t>(r.partitions));
+                jw.key("channels").value(
+                    static_cast<std::uint64_t>(r.channels));
+                jw.key("errors").value(r.report.errorCount());
+                jw.key("warnings").value(r.report.warningCount());
+                jw.key("diagnostics").beginArray();
+                for (const verify::Diag &d : r.report.diags()) {
+                    jw.beginObject();
+                    jw.key("severity").value(
+                        d.severity == verify::Severity::Error
+                            ? "error"
+                            : "warning");
+                    jw.key("pass").value(d.pass);
+                    jw.key("location").value(d.location);
+                    jw.key("message").value(d.message);
+                    jw.endObject();
+                }
+                jw.endArray();
+                jw.endObject();
+            }
+            jw.endArray();
+            jw.endObject();
+            if (!sim::writeTextFile(verify_json, jw.str()))
+                return 2;
+        }
         return errors ? 1 : 0;
+    }
+
+    if (analyze) {
+        // Analysis executes each pair once (profiles need real
+        // invocations) and prints facts serially in job order.
+        int violations = 0;
+        sim::JsonWriter jw;
+        if (analyze_json) {
+            jw.beginObject();
+            jw.key("analysis").beginArray();
+        }
+        for (const std::string &w : workload_names) {
+            for (driver::ArchModel m : models) {
+                cfg.model = m;
+                violations += driver::analyzeWorkload(
+                    w, cfg, opts, analyze_json ? &jw : nullptr);
+            }
+        }
+        if (analyze_json) {
+            jw.endArray();
+            jw.key("violations").value(violations);
+            jw.endObject();
+            std::printf("%s\n", jw.str().c_str());
+        }
+        return violations ? 1 : 0;
     }
 
     std::vector<driver::SweepJob> jobs;
