@@ -86,9 +86,17 @@ main(int argc, char **argv)
 
     double sim_ns_total = 0.0;
     double job_wall_ms_total = 0.0;
+    double plan_hits = 0.0;
+    double plan_misses = 0.0;
+    double plan_compile_ms = 0.0;
+    double plan_saved_ms = 0.0;
     for (const auto &r : results) {
         sim_ns_total += r.metrics.timeNs;
         job_wall_ms_total += r.wallMs;
+        plan_hits += r.metrics.planCacheHits;
+        plan_misses += r.metrics.planCacheMisses;
+        plan_compile_ms += r.metrics.planCompileMs;
+        plan_saved_ms += r.metrics.planCompileMsSaved;
     }
 
     const std::string path = out_dir + "/BENCH_" + label + ".json";
@@ -114,6 +122,13 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"job_wall_ms_total\": %.1f,\n",
                  job_wall_ms_total);
     std::fprintf(f, "  \"sim_ns_total\": %.0f,\n", sim_ns_total);
+    // Compile amortization across the matrix: one miss per distinct
+    // (kernel, options), every other job hits the shared PlanCache.
+    std::fprintf(f,
+                 "  \"plan_cache\": {\"hits\": %.0f, \"misses\": %.0f, "
+                 "\"compile_ms\": %.2f, \"compile_ms_saved\": %.2f},\n",
+                 plan_hits, plan_misses, plan_compile_ms,
+                 plan_saved_ms);
     std::fprintf(f, "  \"runs\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];

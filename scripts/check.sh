@@ -9,14 +9,18 @@
 #      both distributed substrates, validated with python3 (no
 #      violations, affine bounds proven, liveness proven, at least
 #      one memoizable kernel)
-#   6. quick bench smoke through the sweep engine
-#   7. Release build + perf-regression gate (bench/perf_baseline vs
+#   6. plan-artifact round trip: dump every plan of the quick sweep
+#      to a --plan-dir, validate each artifact with distda_plan,
+#      re-run loading from the artifacts and from a disabled cache —
+#      the golden quick-sweep CSV must stay byte-identical both ways
+#   7. quick bench smoke through the sweep engine
+#   8. Release build + perf-regression gate (bench/perf_baseline vs
 #      the committed BENCH_seed.json, via scripts/perf_check.sh)
-#   8. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
+#   9. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
 #      sweep smoke
-#   9. clang-tidy (when available): strict over src/verify + src/sim
-#      (warnings are errors), advisory elsewhere
-#  10. optionally ($RUN_BENCH=1) regenerate every table/figure
+#  10. clang-tidy (when available): strict over src/verify + src/sim
+#      + src/compiler (warnings are errors), advisory elsewhere
+#  11. optionally ($RUN_BENCH=1) regenerate every table/figure
 set -e
 cd "$(dirname "$0")/.."
 
@@ -118,6 +122,24 @@ for path in sys.argv[1:]:
           f"{memoizable} memoizable)")
 EOF
 
+echo "===== plan-artifact round trip (--plan-dir / --plan-cache=off)"
+rm -rf "$BUILD/plans"
+"$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
+    --jobs="$JOBS" --plan-dir="$BUILD/plans" \
+    >"$BUILD/sweep-plandump.csv" 2>/dev/null
+cmp tests/golden/quick_sweep.csv "$BUILD/sweep-plandump.csv"
+"$BUILD"/tools/distda_plan validate "$BUILD"/plans/*.plan >/dev/null
+# Reload every artifact: metrics must not depend on whether a plan
+# was freshly compiled, deserialized, or compiled with caching off.
+"$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
+    --jobs="$JOBS" --plan-dir="$BUILD/plans" \
+    >"$BUILD/sweep-planload.csv" 2>/dev/null
+cmp tests/golden/quick_sweep.csv "$BUILD/sweep-planload.csv"
+"$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
+    --jobs="$JOBS" --plan-cache=off \
+    >"$BUILD/sweep-nocache.csv" 2>/dev/null
+cmp tests/golden/quick_sweep.csv "$BUILD/sweep-nocache.csv"
+
 echo "===== quick bench smoke (--quick --jobs=$JOBS)"
 "$BUILD"/bench/fig11_performance --quick --jobs="$JOBS" >/dev/null
 "$BUILD"/bench/table06_offload_characteristics --quick \
@@ -153,12 +175,12 @@ echo "===== TSan parallel sweep smoke"
 
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    echo "===== clang-tidy (strict: src/verify + src/sim)"
-    git ls-files 'src/verify/*.cc' 'src/sim/*.cc' |
+    echo "===== clang-tidy (strict: src/verify + src/sim + src/compiler)"
+    git ls-files 'src/verify/*.cc' 'src/sim/*.cc' 'src/compiler/*.cc' |
         xargs clang-tidy -p "$BUILD" --quiet --warnings-as-errors='*'
     echo "===== clang-tidy (advisory: remaining sources)"
     git ls-files 'src/*.cc' 'tools/*.cc' |
-        grep -v -e '^src/verify/' -e '^src/sim/' |
+        grep -v -e '^src/verify/' -e '^src/sim/' -e '^src/compiler/' |
         xargs clang-tidy -p "$BUILD" --quiet
 else
     echo "===== clang-tidy not installed; skipping lint"

@@ -17,6 +17,7 @@
 #include "src/compiler/classify.hh"
 #include "src/compiler/partitioner.hh"
 #include "src/compiler/plan.hh"
+#include "src/compiler/plan_io.hh"
 #include "src/sim/logging.hh"
 #include "src/verify/verify.hh"
 
@@ -184,6 +185,8 @@ compileKernel(const Kernel &kernel, const CompileOptions &opts)
 
     OffloadPlan plan;
     plan.kernel = kernel;
+    plan.options = opts;
+    plan.fingerprint = planFingerprint(kernel, opts);
     plan.dep = classifyKernel(kernel);
 
     const std::size_t n = kernel.nodes.size();

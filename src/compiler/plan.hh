@@ -131,21 +131,6 @@ struct OffloadCharacteristics
     double commBytesPerIter = 0.0; ///< partition cut cost
 };
 
-/** The complete compiled offload. */
-struct OffloadPlan
-{
-    Kernel kernel;
-    DependenceInfo dep;
-    std::vector<Partition> partitions;
-    std::vector<ChannelDef> channels;
-    MechanismSet mechanisms{};
-    OffloadCharacteristics characteristics;
-
-    const Partition &partitionOf(int node) const;
-    /** Partition index containing DFG node @p node (-1 if none). */
-    int partitionIndexOf(int node) const;
-};
-
 /** What to do with static-verification findings after codegen. */
 enum class VerifyMode : std::uint8_t
 {
@@ -166,6 +151,33 @@ struct CompileOptions
     int channelCapacity = 64;     ///< decoupling depth in elements
     /** Post-codegen static verification (src/verify) disposition. */
     VerifyMode verifyPlans = VerifyMode::Error;
+};
+
+/** The complete compiled offload. */
+struct OffloadPlan
+{
+    Kernel kernel;
+    DependenceInfo dep;
+    std::vector<Partition> partitions;
+    std::vector<ChannelDef> channels;
+    MechanismSet mechanisms{};
+    OffloadCharacteristics characteristics;
+
+    /** The options this plan was compiled under (round-trips with the
+     * artifact, so analyses can verify a deserialized plan against the
+     * engine parameters it was actually built for). */
+    CompileOptions options;
+    /**
+     * Stable content fingerprint over (canonicalized kernel, options):
+     * 16 lowercase hex digits, computed by compiler::planFingerprint.
+     * Identical inputs always produce identical fingerprints, so it is
+     * the PlanCache key and the artifact-file stem.
+     */
+    std::string fingerprint;
+
+    const Partition &partitionOf(int node) const;
+    /** Partition index containing DFG node @p node (-1 if none). */
+    int partitionIndexOf(int node) const;
 };
 
 /** Full pipeline: classify, partition, place, specialize, codegen. */

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Process-wide cache of compiled OffloadPlans, keyed on the stable
+ * content fingerprint of (canonicalized kernel, CompileOptions).
+ *
+ * Compilation is deterministic, so two lookups with the same
+ * fingerprint may freely share one immutable plan: ExecContext, the
+ * sweep engine's worker threads, and the fuzz campaign all hit the
+ * same instance. Plans are handed out as shared_ptr<const OffloadPlan>
+ * — a holder keeps its plan alive even if the cache evicts it, and
+ * nothing downstream may mutate a shared plan.
+ *
+ * The cache tracks hit/miss counts and compile wall-time so the
+ * setup-cost share of offload overhead (Colagrande & Benini's offload
+ * latency breakdown) is measurable: every hit's savedMs is the wall
+ * time the original compile of that entry cost.
+ */
+
+#ifndef DISTDA_COMPILER_PLAN_CACHE_HH
+#define DISTDA_COMPILER_PLAN_CACHE_HH
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/compiler/plan.hh"
+
+namespace distda::compiler
+{
+
+/** Thread-safe, process-wide plan memoizer. */
+class PlanCache
+{
+  public:
+    /** Outcome of one getOrCompile: the plan plus accounting. */
+    struct Lookup
+    {
+        std::shared_ptr<const OffloadPlan> plan;
+        bool hit = false;
+        /** Wall-clock this call spent compiling (0 on a hit). */
+        double compileMs = 0.0;
+        /** Wall-clock a hit avoided (the entry's original compileMs). */
+        double savedMs = 0.0;
+    };
+
+    /** Cumulative counters since construction (or clear()). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        double compileMs = 0.0; ///< total wall time spent compiling
+        double savedMs = 0.0;   ///< total wall time hits avoided
+        std::size_t entries = 0;
+    };
+
+    /** The process-wide instance every subsystem shares. */
+    static PlanCache &process();
+
+    /**
+     * Return the cached plan for (kernel, opts), compiling and
+     * inserting on a miss. Compilation runs outside the cache lock, so
+     * concurrent misses on different kernels compile in parallel; two
+     * concurrent misses on the same fingerprint both compile and the
+     * first insert wins (determinism makes the copies identical).
+     * Disabled caches compile fresh every call and count misses.
+     */
+    Lookup getOrCompile(const Kernel &kernel, const CompileOptions &opts);
+
+    /**
+     * Insert an externally obtained plan (e.g. loaded from a --plan-dir
+     * artifact) under its recorded fingerprint. First insert wins.
+     */
+    void insert(std::shared_ptr<const OffloadPlan> plan);
+
+    /** Cached plan by fingerprint; null when absent. */
+    std::shared_ptr<const OffloadPlan> find(
+        const std::string &fingerprint) const;
+
+    Stats stats() const;
+
+    /** Drop all entries and reset counters (tests). */
+    void clear();
+
+    /** Toggle caching (--plan-cache=off); enabled by default. */
+    void setEnabled(bool enabled);
+    bool enabled() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const OffloadPlan> plan;
+        double compileMs = 0.0;
+    };
+
+    /**
+     * FIFO capacity bound: long fuzz campaigns compile an unbounded
+     * stream of distinct kernels, and the cache must not grow with
+     * them. Holders keep evicted plans alive via their shared_ptr.
+     */
+    static constexpr std::size_t maxEntries = 4096;
+
+    void evictLocked();
+
+    mutable std::mutex _mu;
+    std::unordered_map<std::string, Entry> _entries;
+    std::deque<std::string> _order; ///< insertion order for eviction
+    Stats _stats;
+    bool _enabled = true;
+};
+
+} // namespace distda::compiler
+
+#endif // DISTDA_COMPILER_PLAN_CACHE_HH

@@ -84,6 +84,28 @@ struct RunConfig
      */
     int predecodeOverride = -1;
 
+    /**
+     * Reuse compiled plans through the process-wide PlanCache
+     * (src/compiler/plan_cache.hh). On by default: compilation is
+     * deterministic, so a cached plan is bit-identical to a fresh
+     * compile and sweep metrics do not depend on this flag.
+     */
+    bool planCache = true;
+    /**
+     * Plan-artifact directory (--plan-dir=): an existing
+     * `<kernel>-<fingerprint>.plan` artifact is loaded, validated and
+     * used instead of compiling; misses compile and dump the artifact
+     * for the next run. Empty disables artifact I/O.
+     */
+    std::string planDir;
+    /**
+     * Round-trip every acquired plan through serialize → parse →
+     * validate and hand the engine the deserialized copy; panics
+     * unless re-serialization is byte-identical. The differential
+     * fuzzer's replan leg runs with this on.
+     */
+    bool planRoundTrip = false;
+
     bool usesAccelerator() const { return model != ArchModel::OoO; }
     bool distributed() const
     {

@@ -1,7 +1,11 @@
 #include "src/driver/context.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
 
+#include "src/compiler/plan_cache.hh"
+#include "src/compiler/plan_io.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/probe.hh"
 
@@ -17,6 +21,88 @@ ExecContext::ExecContext(System &sys, const RunConfig &config,
 
 ExecContext::~ExecContext() = default;
 
+std::shared_ptr<const compiler::OffloadPlan>
+ExecContext::acquirePlan(const compiler::Kernel &kernel)
+{
+    const compiler::CompileOptions opts = _config.compileOptions();
+    const std::string fp = compiler::planFingerprint(kernel, opts);
+    std::shared_ptr<const compiler::OffloadPlan> plan;
+    std::string artifact;
+
+    if (!_config.planDir.empty()) {
+        artifact = _config.planDir + "/" +
+                   compiler::planArtifactFile(kernel.name, fp);
+        if (std::ifstream(artifact).good()) {
+            auto loaded = std::make_shared<compiler::OffloadPlan>(
+                compiler::loadPlan(artifact));
+            if (loaded->fingerprint != fp) {
+                fatal("plan artifact %s: fingerprint %s does not "
+                      "match expected %s (stale artifact?)",
+                      artifact.c_str(), loaded->fingerprint.c_str(),
+                      fp.c_str());
+            }
+            const std::string defect =
+                compiler::validatePlanArtifact(*loaded);
+            if (!defect.empty()) {
+                fatal("plan artifact %s: %s", artifact.c_str(),
+                      defect.c_str());
+            }
+            plan = std::move(loaded);
+            _planHits += 1.0;
+            if (_config.planCache)
+                compiler::PlanCache::process().insert(plan);
+        }
+    }
+
+    if (!plan) {
+        if (_config.planCache) {
+            compiler::PlanCache::Lookup res =
+                compiler::PlanCache::process().getOrCompile(kernel,
+                                                            opts);
+            plan = res.plan;
+            if (res.hit)
+                _planHits += 1.0;
+            else
+                _planMisses += 1.0;
+            _planCompileMs += res.compileMs;
+            _planSavedMs += res.savedMs;
+        } else {
+            const auto t0 = std::chrono::steady_clock::now();
+            plan = std::make_shared<compiler::OffloadPlan>(
+                compiler::compileKernel(kernel, opts));
+            const auto t1 = std::chrono::steady_clock::now();
+            _planMisses += 1.0;
+            _planCompileMs +=
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+        }
+        if (!artifact.empty())
+            compiler::savePlan(*plan, artifact);
+    }
+
+    if (_config.planRoundTrip) {
+        // The deserialized copy must be indistinguishable from the
+        // original, and it (not the original) is what gets executed.
+        const std::string text = compiler::serializePlan(*plan);
+        auto reparsed = std::make_shared<compiler::OffloadPlan>(
+            compiler::parsePlan(text));
+        const std::string text2 = compiler::serializePlan(*reparsed);
+        if (text != text2) {
+            panic("plan round-trip for kernel '%s' is not "
+                  "byte-identical",
+                  kernel.name.c_str());
+        }
+        const std::string defect =
+            compiler::validatePlanArtifact(*reparsed);
+        if (!defect.empty()) {
+            panic("plan round-trip for kernel '%s': %s",
+                  kernel.name.c_str(), defect.c_str());
+        }
+        plan = std::move(reparsed);
+    }
+    return plan;
+}
+
 ExecContext::CompiledKernel &
 ExecContext::compiled(const compiler::Kernel &kernel)
 {
@@ -25,8 +111,7 @@ ExecContext::compiled(const compiler::Kernel &kernel)
         return it->second;
 
     CompiledKernel ck;
-    ck.plan = std::make_unique<compiler::OffloadPlan>(
-        compiler::compileKernel(kernel, _config.compileOptions()));
+    ck.plan = acquirePlan(kernel);
     if (_probe) {
         ck.probeTrack = _probe->addTrack(
             _sys.hier().mesh().hostNode(), "invoke:" + kernel.name);
@@ -34,12 +119,12 @@ ExecContext::compiled(const compiler::Kernel &kernel)
     if (_config.usesAccelerator()) {
         engine::EngineConfig ec = _config.engineConfig();
         ec.probe = _probe;
-        ck.runtime = std::make_unique<offload::OffloadRuntime>(
-            *ck.plan, ec, &_sys.hier(), &_sys.backend(), &_sys.acct());
+        ck.runtime = offload::instantiate(ck.plan, ec, &_sys.hier(),
+                                          &_sys.backend(),
+                                          &_sys.acct());
     } else {
         ck.host = std::make_unique<engine::HostExecutor>(
-            ck.plan->kernel, &_sys.hier(), &_sys.backend(),
-            &_sys.acct());
+            ck.plan, &_sys.hier(), &_sys.backend(), &_sys.acct());
     }
     auto [pos, ok] = _kernels.emplace(kernel.name, std::move(ck));
     DISTDA_ASSERT(ok, "kernel '%s' compiled twice",
@@ -178,7 +263,7 @@ ExecContext::analyzeAll() const
     std::vector<verify::FactStore> all;
     for (const auto &[name, ck] : _kernels) {
         verify::AnalysisOptions ao;
-        ao.channelCapacity = _config.compileOptions().channelCapacity;
+        ao.channelCapacity = ck.plan->options.channelCapacity;
         ao.mesh = _sys.hier().mesh().params();
         ao.profile = &ck.profile;
         if (ck.runtime) {
@@ -227,6 +312,10 @@ ExecContext::finish()
     m.accelInsts = _accelInsts;
     m.kernelMemOps = _memOps;
     m.hostMemOps = _hostMemOps;
+    m.planCacheHits = _planHits;
+    m.planCacheMisses = _planMisses;
+    m.planCompileMs = _planCompileMs;
+    m.planCompileMsSaved = _planSavedMs;
 
     auto &hier = _sys.hier();
     m.cacheAccesses = hier.cacheAccesses();

@@ -108,7 +108,7 @@ class ExecContext
   private:
     struct CompiledKernel
     {
-        std::unique_ptr<compiler::OffloadPlan> plan;
+        std::shared_ptr<const compiler::OffloadPlan> plan;
         std::unique_ptr<offload::OffloadRuntime> runtime;
         std::unique_ptr<engine::HostExecutor> host;
         int probeTrack = -1; ///< per-kernel "invoke" span track
@@ -116,6 +116,15 @@ class ExecContext
     };
 
     CompiledKernel &compiled(const compiler::Kernel &kernel);
+
+    /**
+     * The compile half of the compile→instantiate split: obtain an
+     * immutable plan from (in order) a --plan-dir artifact, the
+     * process-wide PlanCache, or a fresh compile, optionally
+     * round-tripping it through the text artifact format.
+     */
+    std::shared_ptr<const compiler::OffloadPlan> acquirePlan(
+        const compiler::Kernel &kernel);
     void recordProfile(CompiledKernel &ck,
                        const compiler::Kernel &kernel,
                        const std::vector<engine::ArrayRef> &bindings,
@@ -133,6 +142,10 @@ class ExecContext
     double _accelInsts = 0.0;
     double _memOps = 0.0;
     double _hostMemOps = 0.0;
+    double _planHits = 0.0;
+    double _planMisses = 0.0;
+    double _planCompileMs = 0.0;
+    double _planSavedMs = 0.0;
 };
 
 } // namespace distda::driver

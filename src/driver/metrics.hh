@@ -81,6 +81,19 @@ struct Metrics
     double setupWallMs = 0.0; ///< workload construction + setup share
 
     /**
+     * Plan-acquisition accounting for this run (PlanCache hits/misses
+     * plus --plan-dir artifact loads; see src/compiler/plan_cache.hh).
+     * The hit/miss split depends on process-wide cache state and the
+     * sweep's job schedule, and the wall times are machine-dependent,
+     * so — like wallMs — these are excluded from the CSV columns and
+     * surface only in stats-JSON reports and the sweep summary.
+     */
+    double planCacheHits = 0.0;
+    double planCacheMisses = 0.0;
+    double planCompileMs = 0.0;      ///< wall time spent compiling
+    double planCompileMsSaved = 0.0; ///< wall time cache hits avoided
+
+    /**
      * Clock the ipc() denominator counts cycles against, in GHz. Set
      * by ExecContext::finish() from RunConfig::accelGHz when an
      * override is active; 2.0 (the host clock) otherwise.

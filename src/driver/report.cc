@@ -45,6 +45,12 @@ metricsJson(sim::JsonWriter &w, const Metrics &m)
         w.key(name).value(pj);
     w.endObject();
     w.key("wall_ms").value(m.wallMs);
+    w.key("plan_cache").beginObject();
+    w.key("hits").value(m.planCacheHits);
+    w.key("misses").value(m.planCacheMisses);
+    w.key("compile_ms").value(m.planCompileMs);
+    w.key("compile_ms_saved").value(m.planCompileMsSaved);
+    w.endObject();
     w.endObject();
 }
 

@@ -10,6 +10,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/compiler/plan_cache.hh"
+#include "src/driver/config.hh"
 #include "src/driver/pool.hh"
 #include "src/sim/logging.hh"
 
@@ -91,9 +93,18 @@ int
 defaultJobCount()
 {
     if (const char *env = std::getenv("DISTDA_JOBS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
+        // Strict parse: "4x", "abc" or "" must not silently become 0
+        // (atoi) and fall through to hardware_concurrency as if unset.
+        std::int64_t n = 0;
+        bool parsed = false;
+        try {
+            ScopedFailureCapture capture;
+            n = parseInt(env, "DISTDA_JOBS");
+            parsed = true;
+        } catch (const SimFailure &) {
+        }
+        if (parsed && n > 0)
+            return static_cast<int>(n);
         warn("ignoring DISTDA_JOBS='%s' (want a positive integer)",
              env);
     }
@@ -162,6 +173,22 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opts)
 
     if (opts.quietRuns)
         setInformEnabled(prior_inform);
+
+    if (opts.progress) {
+        double hits = 0.0, misses = 0.0, saved_ms = 0.0;
+        for (const SweepResult &r : results) {
+            if (!r.ok)
+                continue;
+            hits += r.metrics.planCacheHits;
+            misses += r.metrics.planCacheMisses;
+            saved_ms += r.metrics.planCompileMsSaved;
+        }
+        const auto cache = compiler::PlanCache::process().stats();
+        std::fprintf(stderr,
+                     "plan cache: %.0f hit(s), %.0f miss(es), "
+                     "%.1f ms compile saved (%zu cached plan(s))\n",
+                     hits, misses, saved_ms, cache.entries);
+    }
     return results;
 }
 

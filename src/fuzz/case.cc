@@ -1,11 +1,10 @@
 #include "src/fuzz/case.hh"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "src/compiler/plan_io.hh"
 #include "src/sim/logging.hh"
 
 namespace distda::fuzz
@@ -16,191 +15,26 @@ using compiler::Kernel;
 using compiler::MemObjectDecl;
 using compiler::Node;
 using compiler::NodeKind;
-using compiler::noNode;
 using compiler::OpCode;
 using compiler::PatternKind;
 using compiler::Word;
+
+// The kernel-section line format (kernel/loop/kobject/kparam/node/
+// result/endkernel) is owned by src/compiler/plan_io.{hh,cc} and
+// shared byte-for-byte with plan artifacts; reproducers add only the
+// case-level lines (seed/object/invoke) around it.
+using compiler::planio::hexWord;
+using compiler::planio::readHex;
+using compiler::planio::readI64;
+using compiler::planio::readName;
+using compiler::planio::readU64;
+using compiler::planio::sanitizeName;
+using compiler::planio::wordFromBits;
 
 namespace
 {
 
 constexpr const char *magic = "distda-fuzz-repro v1";
-
-const char *
-kindName(NodeKind k)
-{
-    switch (k) {
-      case NodeKind::MemObject: return "memobject";
-      case NodeKind::Access: return "access";
-      case NodeKind::Compute: return "compute";
-      case NodeKind::IndVar: return "indvar";
-      case NodeKind::Param: return "param";
-      case NodeKind::ConstInt: return "constint";
-      case NodeKind::ConstFloat: return "constfloat";
-      case NodeKind::Carry: return "carry";
-      default: panic("bad node kind %d", static_cast<int>(k));
-    }
-}
-
-NodeKind
-kindFromName(const std::string &s)
-{
-    for (int k = 0; k <= static_cast<int>(NodeKind::Carry); ++k) {
-        if (s == kindName(static_cast<NodeKind>(k)))
-            return static_cast<NodeKind>(k);
-    }
-    fatal("repro: unknown node kind '%s'", s.c_str());
-}
-
-OpCode
-opFromName(const std::string &s)
-{
-    for (int o = 0; o <= static_cast<int>(OpCode::Mov); ++o) {
-        if (s == compiler::opName(static_cast<OpCode>(o)))
-            return static_cast<OpCode>(o);
-    }
-    fatal("repro: unknown opcode '%s'", s.c_str());
-}
-
-/** Names are labels only; keep them one whitespace-free token. */
-std::string
-sanitizeName(const std::string &name)
-{
-    if (name.empty())
-        return "-";
-    std::string out = name;
-    for (char &c : out) {
-        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
-            c = '_';
-    }
-    return out;
-}
-
-std::string
-readName(std::istringstream &in, const char *what)
-{
-    std::string s;
-    if (!(in >> s))
-        fatal("repro: missing %s", what);
-    return s == "-" ? std::string{} : s;
-}
-
-std::int64_t
-readI64(std::istringstream &in, const char *what)
-{
-    std::int64_t v;
-    if (!(in >> v))
-        fatal("repro: bad integer field %s", what);
-    return v;
-}
-
-std::uint64_t
-readU64(std::istringstream &in, const char *what)
-{
-    std::uint64_t v;
-    if (!(in >> v))
-        fatal("repro: bad unsigned field %s", what);
-    return v;
-}
-
-std::uint64_t
-readHex(std::istringstream &in, const char *what)
-{
-    std::string s;
-    if (!(in >> s))
-        fatal("repro: missing hex field %s", what);
-    std::uint64_t v = 0;
-    if (std::sscanf(s.c_str(), "0x%" SCNx64, &v) != 1)
-        fatal("repro: bad hex field %s: '%s'", what, s.c_str());
-    return v;
-}
-
-std::uint64_t
-wordBits(Word w)
-{
-    std::uint64_t u;
-    std::memcpy(&u, &w, sizeof(u));
-    return u;
-}
-
-Word
-wordFromBits(std::uint64_t u)
-{
-    Word w;
-    std::memcpy(&w, &u, sizeof(w));
-    return w;
-}
-
-void
-writeNode(std::ostringstream &out, const Node &n)
-{
-    out << "node " << n.id << ' ' << kindName(n.kind) << ' ' << n.bits
-        << ' ' << n.objId << ' '
-        << (n.dir == AccessDir::Store ? 'S' : 'L') << ' '
-        << (n.pattern == PatternKind::Indirect ? 'I' : 'A') << ' '
-        << n.affine.constBase << ' ' << n.affine.ivCoeff << ' '
-        << n.affine.paramCoeffs.size();
-    for (std::int64_t c : n.affine.paramCoeffs)
-        out << ' ' << c;
-    char hex[2][32];
-    std::snprintf(hex[0], sizeof(hex[0]), "0x%016" PRIx64,
-                  wordBits(n.imm));
-    std::snprintf(hex[1], sizeof(hex[1]), "0x%016" PRIx64,
-                  wordBits(n.carryInit));
-    out << ' ' << n.addrInput << ' ' << n.valueInput << ' '
-        << n.predInput << ' ' << (n.elemIsFloat ? 1 : 0) << ' '
-        << compiler::opName(n.op) << ' ' << n.inputA << ' ' << n.inputB
-        << ' ' << n.inputC << ' ' << n.paramIdx << ' ' << hex[0] << ' '
-        << hex[1] << ' ' << n.carryUpdate << ' '
-        << (n.carryIsFloat ? 1 : 0) << ' ' << sanitizeName(n.name)
-        << '\n';
-}
-
-Node
-readNode(std::istringstream &in)
-{
-    Node n;
-    n.id = static_cast<int>(readI64(in, "node id"));
-    std::string kind;
-    in >> kind;
-    n.kind = kindFromName(kind);
-    n.bits = static_cast<std::uint32_t>(readU64(in, "bits"));
-    n.objId = static_cast<int>(readI64(in, "objId"));
-    std::string dir, pat;
-    in >> dir >> pat;
-    if (dir != "L" && dir != "S")
-        fatal("repro: bad access dir '%s'", dir.c_str());
-    if (pat != "A" && pat != "I")
-        fatal("repro: bad access pattern '%s'", pat.c_str());
-    n.dir = dir == "S" ? AccessDir::Store : AccessDir::Load;
-    n.pattern = pat == "I" ? PatternKind::Indirect : PatternKind::Affine;
-    n.affine.constBase = readI64(in, "constBase");
-    n.affine.ivCoeff = readI64(in, "ivCoeff");
-    const std::uint64_t npc = readU64(in, "paramCoeff count");
-    if (npc > 64)
-        fatal("repro: absurd paramCoeff count %llu",
-              static_cast<unsigned long long>(npc));
-    n.affine.paramCoeffs.resize(npc);
-    for (std::uint64_t k = 0; k < npc; ++k)
-        n.affine.paramCoeffs[k] = readI64(in, "paramCoeff");
-    n.addrInput = static_cast<int>(readI64(in, "addrInput"));
-    n.valueInput = static_cast<int>(readI64(in, "valueInput"));
-    n.predInput = static_cast<int>(readI64(in, "predInput"));
-    n.elemIsFloat = readI64(in, "elemIsFloat") != 0;
-    std::string op;
-    in >> op;
-    n.op = opFromName(op);
-    n.inputA = static_cast<int>(readI64(in, "inputA"));
-    n.inputB = static_cast<int>(readI64(in, "inputB"));
-    n.inputC = static_cast<int>(readI64(in, "inputC"));
-    n.paramIdx = static_cast<int>(readI64(in, "paramIdx"));
-    n.imm = wordFromBits(readHex(in, "imm"));
-    n.carryInit = wordFromBits(readHex(in, "carryInit"));
-    n.carryUpdate = static_cast<int>(readI64(in, "carryUpdate"));
-    n.carryIsFloat = readI64(in, "carryIsFloat") != 0;
-    n.name = readName(in, "node name");
-    return n;
-}
 
 } // namespace
 
@@ -228,33 +62,15 @@ serializeCase(const FuzzCase &c)
             << (o.isFloat ? 1 : 0) << ' ' << o.indexBound << ' '
             << sanitizeName(o.name) << '\n';
     }
-    for (const Kernel &k : c.kernels) {
-        out << "kernel " << sanitizeName(k.name) << '\n';
-        out << "loop " << k.loop.staticExtent << ' ' << k.loop.extentParam
-            << ' ' << sanitizeName(k.loop.name) << '\n';
-        for (const MemObjectDecl &o : k.objects) {
-            out << "kobject " << o.id << ' ' << o.elemCount << ' '
-                << o.elemBytes << ' ' << (o.isFloat ? 1 : 0) << ' '
-                << sanitizeName(o.name) << '\n';
-        }
-        for (const std::string &p : k.paramNames)
-            out << "kparam " << sanitizeName(p) << '\n';
-        for (const Node &n : k.nodes)
-            writeNode(out, n);
-        for (int r : k.resultCarries)
-            out << "result " << r << '\n';
-        out << "endkernel\n";
-    }
+    for (const Kernel &k : c.kernels)
+        compiler::planio::writeKernelLines(out, k);
     for (const Invocation &inv : c.invocations) {
         out << "invoke " << inv.kernel << " objs " << inv.objects.size();
         for (int o : inv.objects)
             out << ' ' << o;
         out << " params " << inv.paramBits.size();
-        for (std::uint64_t p : inv.paramBits) {
-            char hex[32];
-            std::snprintf(hex, sizeof(hex), "0x%016" PRIx64, p);
-            out << ' ' << hex;
-        }
+        for (std::uint64_t p : inv.paramBits)
+            out << ' ' << hexWord(p);
         out << '\n';
     }
     out << "end\n";
@@ -269,8 +85,7 @@ parseCase(const std::string &text)
     std::string line;
     if (!std::getline(lines, line) || line != magic)
         fatal("repro: bad header '%s'", line.c_str());
-    Kernel *kernel = nullptr;
-    Kernel pending;
+    compiler::planio::KernelLineReader kreader;
     bool saw_end = false;
     while (std::getline(lines, line)) {
         if (line.empty() || line[0] == '#')
@@ -282,6 +97,8 @@ parseCase(const std::string &text)
             saw_end = true;
             break;
         }
+        if (kreader.consume(tok, in))
+            continue;
         if (tok == "seed") {
             c.seed = readU64(in, "seed");
         } else if (tok == "dataseed") {
@@ -295,48 +112,6 @@ parseCase(const std::string &text)
             o.indexBound = readU64(in, "object indexbound");
             o.name = readName(in, "object name");
             c.objects.push_back(std::move(o));
-        } else if (tok == "kernel") {
-            if (kernel)
-                fatal("repro: nested kernel");
-            pending = Kernel{};
-            pending.name = readName(in, "kernel name");
-            kernel = &pending;
-        } else if (tok == "loop") {
-            if (!kernel)
-                fatal("repro: loop outside kernel");
-            kernel->loop.staticExtent = readI64(in, "staticExtent");
-            kernel->loop.extentParam =
-                static_cast<int>(readI64(in, "extentParam"));
-            kernel->loop.name = readName(in, "loop name");
-        } else if (tok == "kobject") {
-            if (!kernel)
-                fatal("repro: kobject outside kernel");
-            MemObjectDecl o;
-            o.id = static_cast<int>(readI64(in, "kobject id"));
-            o.elemCount = readU64(in, "kobject count");
-            o.elemBytes = static_cast<std::uint32_t>(
-                readU64(in, "kobject bytes"));
-            o.isFloat = readI64(in, "kobject float") != 0;
-            o.name = readName(in, "kobject name");
-            kernel->objects.push_back(std::move(o));
-        } else if (tok == "kparam") {
-            if (!kernel)
-                fatal("repro: kparam outside kernel");
-            kernel->paramNames.push_back(readName(in, "kparam name"));
-        } else if (tok == "node") {
-            if (!kernel)
-                fatal("repro: node outside kernel");
-            kernel->nodes.push_back(readNode(in));
-        } else if (tok == "result") {
-            if (!kernel)
-                fatal("repro: result outside kernel");
-            kernel->resultCarries.push_back(
-                static_cast<int>(readI64(in, "result node")));
-        } else if (tok == "endkernel") {
-            if (!kernel)
-                fatal("repro: endkernel without kernel");
-            c.kernels.push_back(std::move(pending));
-            kernel = nullptr;
         } else if (tok == "invoke") {
             Invocation inv;
             inv.kernel = static_cast<int>(readI64(in, "invoke kernel"));
@@ -365,10 +140,11 @@ parseCase(const std::string &text)
             fatal("repro: unknown line '%s'", line.c_str());
         }
     }
-    if (kernel)
+    if (kreader.inKernel())
         fatal("repro: unterminated kernel");
     if (!saw_end)
         fatal("repro: missing end marker");
+    c.kernels = std::move(kreader.kernels);
     return c;
 }
 

@@ -475,6 +475,11 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
         {"Dist-DA-IO/interp", mkcfg(ArchModel::DistDA_IO, 0)});
     specs.push_back(
         {"Dist-DA-IO/predecode", mkcfg(ArchModel::DistDA_IO, 1)});
+    if (opts.planRoundTrip) {
+        RunConfig replan = mkcfg(ArchModel::DistDA_IO, 1);
+        replan.planRoundTrip = true;
+        specs.push_back({"Dist-DA-IO/replan", replan});
+    }
     if (opts.cgra)
         specs.push_back({"Dist-DA-F", mkcfg(ArchModel::DistDA_F)});
 
@@ -557,28 +562,38 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
     }
 
     // Interpreter vs predecode must agree on every metric exactly —
-    // the streams execute the same abstract program.
+    // the streams execute the same abstract program. Likewise the
+    // replan path against predecode: a plan that survived the text
+    // round trip must be indistinguishable in execution.
     const PathResult *interp = nullptr;
     const PathResult *pre = nullptr;
+    const PathResult *replan = nullptr;
     for (const PathResult &r : out.paths) {
         if (r.path == "Dist-DA-IO/interp")
             interp = &r;
         if (r.path == "Dist-DA-IO/predecode")
             pre = &r;
+        if (r.path == "Dist-DA-IO/replan")
+            replan = &r;
     }
-    if (interp && pre && !interp->crashed && !pre->crashed) {
+    auto cross_check_metrics = [&](const PathResult *a,
+                                   const PathResult *b,
+                                   const char *what) {
+        if (!a || !b || a->crashed || b->crashed)
+            return;
         for (const MetricField &mf : kMetricFields) {
-            const double a = interp->metrics.*(mf.field);
-            const double b = pre->metrics.*(mf.field);
-            if (a != b) {
+            const double va = a->metrics.*(mf.field);
+            const double vb = b->metrics.*(mf.field);
+            if (va != vb) {
                 out.findings.push_back(Finding{
                     Finding::Kind::Divergence,
-                    strfmt("interp/predecode metric %s differs: "
-                           "%.17g vs %.17g",
-                           mf.name, a, b)});
+                    strfmt("%s metric %s differs: %.17g vs %.17g",
+                           what, mf.name, va, vb)});
             }
         }
-    }
+    };
+    cross_check_metrics(interp, pre, "interp/predecode");
+    cross_check_metrics(pre, replan, "predecode/replan");
 
     for (const PathResult &r : out.paths)
         checkSanity(r, out.findings);

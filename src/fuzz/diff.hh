@@ -73,6 +73,14 @@ struct DiffOptions
      * footprints (unwritten objects must end byte-identical).
      */
     bool analyze = true;
+    /**
+     * Include the Dist-DA-IO/replan path: identical configuration to
+     * Dist-DA-IO/predecode except every plan is round-tripped through
+     * the text artifact format (serialize→parse→instantiate) before
+     * execution. Its metrics must match predecode field for field —
+     * the serializer's exactness oracle.
+     */
+    bool planRoundTrip = true;
 };
 
 /** Result of one differential run. */

@@ -23,6 +23,26 @@ OffloadRuntime::OffloadRuntime(const compiler::OffloadPlan &plan,
 {
 }
 
+OffloadRuntime::OffloadRuntime(
+    std::shared_ptr<const compiler::OffloadPlan> plan,
+    const engine::EngineConfig &config, mem::Hierarchy *hier,
+    engine::MemBackend *backend, energy::Accountant *acct)
+    : _planRef(std::move(plan)), _plan(*_planRef),
+      _engine(*_planRef, config, hier, backend, acct),
+      _iface(hier, acct), _hier(hier)
+{
+}
+
+std::unique_ptr<OffloadRuntime>
+instantiate(std::shared_ptr<const compiler::OffloadPlan> plan,
+            const engine::EngineConfig &config, mem::Hierarchy *hier,
+            engine::MemBackend *backend, energy::Accountant *acct)
+{
+    DISTDA_ASSERT(plan != nullptr, "instantiate: null plan");
+    return std::make_unique<OffloadRuntime>(std::move(plan), config,
+                                            hier, backend, acct);
+}
+
 OffloadRunResult
 OffloadRuntime::invoke(const std::vector<engine::ArrayRef> &bindings,
                        const std::vector<Word> &params,

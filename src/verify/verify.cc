@@ -31,6 +31,12 @@ optionsFor(const compiler::CompileOptions &opts)
     return v;
 }
 
+Options
+optionsFor(const compiler::OffloadPlan &plan)
+{
+    return optionsFor(plan.options);
+}
+
 const std::vector<Pass> &
 passes()
 {

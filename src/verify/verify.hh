@@ -57,6 +57,12 @@ struct Options
 /** Verification parameters implied by the compile options. */
 Options optionsFor(const compiler::CompileOptions &opts);
 
+/**
+ * Verification parameters for a standalone plan (cached or
+ * deserialized): derived from the options the plan was compiled with.
+ */
+Options optionsFor(const compiler::OffloadPlan &plan);
+
 /** One registered verification pass. */
 struct Pass
 {

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Plan artifact and PlanCache tests: exact serialize→parse→serialize
+ * round trips across every paper workload and both accelerator
+ * families, fingerprint stability and collision sanity, structural
+ * validation of corrupted artifacts, file save/load, cache hit/miss
+ * accounting, and cached-vs-fresh execution metric equality (the
+ * correctness bar for the compile→execute split).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/compiler/plan_cache.hh"
+#include "src/compiler/plan_io.hh"
+#include "src/driver/runner.hh"
+#include "src/driver/system.hh"
+#include "src/sim/logging.hh"
+#include "src/workloads/workload.hh"
+
+using namespace distda;
+using compiler::CompileOptions;
+using compiler::Kernel;
+using compiler::OffloadPlan;
+using compiler::PlanCache;
+using driver::ArchModel;
+
+namespace
+{
+
+/** Every kernel of every paper workload, compiled under @p model. */
+std::vector<OffloadPlan>
+compileAllKernels(ArchModel model)
+{
+    std::vector<OffloadPlan> plans;
+    for (const std::string &name : workloads::workloadNames()) {
+        auto wl = workloads::makeWorkload(name, 0.25);
+        driver::SystemParams sp;
+        sp.arenaBytes = wl->arenaBytes();
+        driver::RunConfig cfg;
+        cfg.model = model;
+        sp.allocAffinity = cfg.allocAffinity();
+        driver::System sys(sp);
+        wl->setup(sys);
+        for (const Kernel *k : wl->kernels())
+            plans.push_back(
+                compiler::compileKernel(*k, cfg.compileOptions()));
+    }
+    return plans;
+}
+
+/** One representative compiled plan for corruption/file tests. */
+OffloadPlan
+samplePlan()
+{
+    auto wl = workloads::makeWorkload("fdt", 0.25);
+    driver::SystemParams sp;
+    sp.arenaBytes = wl->arenaBytes();
+    driver::RunConfig cfg;
+    cfg.model = ArchModel::DistDA_IO;
+    sp.allocAffinity = cfg.allocAffinity();
+    driver::System sys(sp);
+    wl->setup(sys);
+    return compiler::compileKernel(*wl->kernels().front(),
+                                   cfg.compileOptions());
+}
+
+/** Fields that must be identical between cached and fresh runs. */
+const std::vector<std::pair<const char *, double driver::Metrics::*>> &
+comparableMetricFields()
+{
+    using M = driver::Metrics;
+    static const std::vector<
+        std::pair<const char *, double M::*>>
+        fields = {
+            {"timeNs", &M::timeNs},
+            {"hostInsts", &M::hostInsts},
+            {"accelInsts", &M::accelInsts},
+            {"kernelMemOps", &M::kernelMemOps},
+            {"hostMemOps", &M::hostMemOps},
+            {"mmioOps", &M::mmioOps},
+            {"cacheAccesses", &M::cacheAccesses},
+            {"dataMovementBytes", &M::dataMovementBytes},
+            {"totalEnergyPj", &M::totalEnergyPj},
+            {"nocCtrlBytes", &M::nocCtrlBytes},
+            {"nocDataBytes", &M::nocDataBytes},
+            {"intraBytes", &M::intraBytes},
+            {"daBytes", &M::daBytes},
+            {"aaBytes", &M::aaBytes},
+        };
+    return fields;
+}
+
+} // namespace
+
+TEST(PlanIo, RoundTripIsByteIdenticalAcrossWorkloadsAndModels)
+{
+    for (ArchModel model :
+         {ArchModel::MonoDA_IO, ArchModel::DistDA_IO}) {
+        for (const OffloadPlan &plan : compileAllKernels(model)) {
+            const std::string text = compiler::serializePlan(plan);
+            const OffloadPlan back = compiler::parsePlan(text);
+            EXPECT_EQ(compiler::serializePlan(back), text)
+                << "kernel " << plan.kernel.name << " under model "
+                << driver::archModelName(model);
+            EXPECT_EQ(compiler::validatePlanArtifact(back), "");
+        }
+    }
+}
+
+TEST(PlanIo, FingerprintIsStableAndRecordedInThePlan)
+{
+    const OffloadPlan a = samplePlan();
+    const OffloadPlan b = samplePlan();
+    ASSERT_EQ(a.fingerprint.size(), 16u);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.fingerprint,
+              compiler::planFingerprint(a.kernel, a.options));
+}
+
+TEST(PlanIo, FingerprintSeparatesKernelsAndOptions)
+{
+    // Distinct (kernel, options) pairs must not collide across the
+    // whole suite — the cache key and artifact name depend on it.
+    std::set<std::string> fps;
+    std::size_t plans = 0;
+    for (ArchModel model :
+         {ArchModel::MonoDA_IO, ArchModel::DistDA_IO}) {
+        for (const OffloadPlan &plan : compileAllKernels(model)) {
+            fps.insert(plan.fingerprint);
+            ++plans;
+        }
+    }
+    EXPECT_EQ(fps.size(), plans);
+
+    // Every CompileOptions knob participates in the fingerprint.
+    const OffloadPlan base = samplePlan();
+    CompileOptions opts = base.options;
+    opts.channelCapacity += 1;
+    EXPECT_NE(compiler::planFingerprint(base.kernel, opts),
+              base.fingerprint);
+    opts = base.options;
+    opts.bufferBytes *= 2;
+    EXPECT_NE(compiler::planFingerprint(base.kernel, opts),
+              base.fingerprint);
+}
+
+TEST(PlanIo, ParseRejectsTruncatedAndMangledArtifacts)
+{
+    const std::string text = compiler::serializePlan(samplePlan());
+
+    auto parse_fails = [](const std::string &t) {
+        try {
+            ScopedFailureCapture capture;
+            compiler::parsePlan(t);
+        } catch (const SimFailure &) {
+            return true;
+        }
+        return false;
+    };
+
+    EXPECT_TRUE(parse_fails(""));
+    EXPECT_TRUE(parse_fails("not a plan\n"));
+    // Drop the trailing "end\n": truncation must not parse.
+    EXPECT_TRUE(parse_fails(text.substr(0, text.size() - 4)));
+    EXPECT_TRUE(parse_fails(text.substr(0, text.size() / 2)));
+    // Unknown trailing token after a complete document.
+    EXPECT_TRUE(parse_fails(text + "garbage\n"));
+}
+
+TEST(PlanIo, ValidatorFlagsCorruptedFields)
+{
+    const OffloadPlan plan = samplePlan();
+    const std::string text = compiler::serializePlan(plan);
+
+    auto corrupt = [&](const std::string &from, const std::string &to) {
+        std::string t = text;
+        const std::size_t pos = t.find(from);
+        EXPECT_NE(pos, std::string::npos) << from;
+        t.replace(pos, from.size(), to);
+        return compiler::validatePlanArtifact(compiler::parsePlan(t));
+    };
+
+    // Tampered fingerprint: recompute must disagree.
+    const std::string fp_line = "fingerprint " + plan.fingerprint;
+    const std::string flipped =
+        "fingerprint " +
+        std::string(plan.fingerprint[0] == '0' ? "1" : "0") +
+        plan.fingerprint.substr(1);
+    EXPECT_NE(corrupt(fp_line, flipped), "");
+
+    // Characteristics out of sync with the partition list.
+    const std::string chars = "chars " + std::to_string(static_cast<
+        long long>(plan.characteristics.numPartitions));
+    const std::string wrong = "chars " + std::to_string(static_cast<
+        long long>(plan.characteristics.numPartitions + 1));
+    EXPECT_NE(corrupt(chars, wrong), "");
+
+    // The untouched artifact stays clean.
+    EXPECT_EQ(compiler::validatePlanArtifact(compiler::parsePlan(text)),
+              "");
+}
+
+TEST(PlanIo, SaveAndLoadRoundTripThroughAFile)
+{
+    const OffloadPlan plan = samplePlan();
+    const std::string path =
+        ::testing::TempDir() + "/" +
+        compiler::planArtifactFile(plan.kernel.name, plan.fingerprint);
+    compiler::savePlan(plan, path);
+    const OffloadPlan back = compiler::loadPlan(path);
+    EXPECT_EQ(compiler::serializePlan(back),
+              compiler::serializePlan(plan));
+    EXPECT_EQ(back.fingerprint, plan.fingerprint);
+    std::remove(path.c_str());
+}
+
+TEST(PlanIo, ArtifactFileNameSanitizesHostileKernelNames)
+{
+    EXPECT_EQ(compiler::planArtifactFile("a b/c", "0123456789abcdef"),
+              "a_b-c-0123456789abcdef.plan");
+}
+
+TEST(PlanCacheTest, HitsAndMissesAreCounted)
+{
+    PlanCache cache;
+    const OffloadPlan sample = samplePlan();
+
+    const PlanCache::Lookup miss =
+        cache.getOrCompile(sample.kernel, sample.options);
+    ASSERT_NE(miss.plan, nullptr);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_GE(miss.compileMs, 0.0);
+
+    const PlanCache::Lookup hit =
+        cache.getOrCompile(sample.kernel, sample.options);
+    ASSERT_NE(hit.plan, nullptr);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.plan.get(), miss.plan.get()); // shared instance
+    EXPECT_EQ(hit.compileMs, 0.0);
+
+    const PlanCache::Stats st = cache.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_EQ(st.savedMs, miss.compileMs);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PlanCacheTest, DisabledCacheCompilesFreshEveryTime)
+{
+    PlanCache cache;
+    cache.setEnabled(false);
+    const OffloadPlan sample = samplePlan();
+    const PlanCache::Lookup a =
+        cache.getOrCompile(sample.kernel, sample.options);
+    const PlanCache::Lookup b =
+        cache.getOrCompile(sample.kernel, sample.options);
+    EXPECT_FALSE(a.hit);
+    EXPECT_FALSE(b.hit);
+    EXPECT_NE(a.plan.get(), b.plan.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, InsertedPlansAreFoundByFingerprint)
+{
+    PlanCache cache;
+    auto plan = std::make_shared<const OffloadPlan>(samplePlan());
+    cache.insert(plan);
+    EXPECT_EQ(cache.find(plan->fingerprint).get(), plan.get());
+    EXPECT_EQ(cache.find("ffffffffffffffff"), nullptr);
+
+    // A subsequent lookup of the same (kernel, options) is a hit on
+    // the inserted instance — no recompilation.
+    const PlanCache::Lookup hit =
+        cache.getOrCompile(plan->kernel, plan->options);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.plan.get(), plan.get());
+}
+
+TEST(PlanCacheTest, CachedAndFreshRunsProduceIdenticalMetrics)
+{
+    driver::RunOptions opts;
+    opts.scale = 0.25;
+
+    driver::RunConfig cached;
+    cached.model = ArchModel::DistDA_IO;
+    cached.planCache = true;
+    driver::RunConfig fresh = cached;
+    fresh.planCache = false;
+
+    PlanCache::process().clear();
+    const driver::Metrics warm =
+        driver::runWorkload("sei", cached, opts);
+    const driver::Metrics hit =
+        driver::runWorkload("sei", cached, opts);
+    const driver::Metrics cold =
+        driver::runWorkload("sei", fresh, opts);
+
+    // The second cached run hits for every kernel the first compiled;
+    // the uncached run never consults the cache.
+    EXPECT_GT(warm.planCacheMisses, 0.0);
+    EXPECT_EQ(warm.planCacheHits, 0.0);
+    EXPECT_GT(hit.planCacheHits, 0.0);
+    EXPECT_EQ(hit.planCacheMisses, 0.0);
+    EXPECT_GT(hit.planCompileMsSaved, 0.0);
+    EXPECT_EQ(cold.planCacheHits, 0.0);
+    EXPECT_GT(cold.planCacheMisses, 0.0);
+
+    for (const auto &[name, field] : comparableMetricFields()) {
+        EXPECT_EQ(warm.*field, hit.*field) << name;
+        EXPECT_EQ(warm.*field, cold.*field) << name;
+    }
+    PlanCache::process().clear();
+}
+
+TEST(PlanCacheTest, RoundTrippedPlansRunIdentically)
+{
+    driver::RunOptions opts;
+    opts.scale = 0.25;
+    driver::RunConfig direct;
+    direct.model = ArchModel::DistDA_IO;
+    driver::RunConfig replan = direct;
+    replan.planRoundTrip = true;
+
+    PlanCache::process().clear();
+    const driver::Metrics a = driver::runWorkload("nw", direct, opts);
+    const driver::Metrics b = driver::runWorkload("nw", replan, opts);
+    for (const auto &[name, field] : comparableMetricFields())
+        EXPECT_EQ(a.*field, b.*field) << name;
+    PlanCache::process().clear();
+}

@@ -96,6 +96,24 @@ TEST(Sweep, DefaultJobCountHonorsEnvironment)
     EXPECT_GE(driver::defaultJobCount(), 1);
 }
 
+TEST(Sweep, DefaultJobCountRejectsMalformedValuesStrictly)
+{
+    ::unsetenv("DISTDA_JOBS");
+    const int fallback = driver::defaultJobCount();
+
+    // Trailing junk must not silently parse as its numeric prefix
+    // (the old atoi behavior): "4x" warns and falls back, it does not
+    // become 4 workers.
+    for (const char *bad : {"4x", "0x10", "", " ", "1 2", "-2", "0"}) {
+        ::setenv("DISTDA_JOBS", bad, 1);
+        EXPECT_EQ(driver::defaultJobCount(), fallback)
+            << "DISTDA_JOBS='" << bad << "'";
+    }
+    ::setenv("DISTDA_JOBS", "12", 1);
+    EXPECT_EQ(driver::defaultJobCount(), 12);
+    ::unsetenv("DISTDA_JOBS");
+}
+
 TEST(Sweep, SerialAndParallelMetricsAreIdentical)
 {
     const auto jobs = smokeJobs();

@@ -8,7 +8,7 @@
  *   distda_fuzz [--seed=<n>] [--runs=<k>] [--jobs=<n>]
  *               [--shape=parallel|pipeline|nonpart|multi|cross|mixed]
  *               [--out=<dir>] [--no-shrink] [--no-cgra] [--no-mono]
- *               [--no-analyze] [--quiet]
+ *               [--no-analyze] [--no-replan] [--quiet]
  *   distda_fuzz --replay=<file.repro>
  *   distda_fuzz --corpus=<dir>
  *
@@ -89,6 +89,8 @@ main(int argc, char **argv)
             opts.diff.mono = false;
         } else if (arg == "--no-analyze") {
             opts.diff.analyze = false;
+        } else if (arg == "--no-replan") {
+            opts.diff.planRoundTrip = false;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg.rfind("--replay=", 0) == 0) {

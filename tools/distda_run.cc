@@ -14,6 +14,7 @@
  *              [--verify-json=<file>] [--analyze[=json]]
  *              [--timeline=<file>] [--stats-json=<file>]
  *              [--stats-interval=<ticks>] [--report-dir=<dir>]
+ *              [--plan-dir=<dir>] [--plan-cache[=on|off]]
  *
  * --jobs=<n> runs the sweep's independent simulations on n worker
  * threads (default: DISTDA_JOBS, else hardware_concurrency). Results
@@ -43,6 +44,14 @@
  * Reports go to files only: stdout (CSV or human records) is
  * byte-identical with or without these flags.
  *
+ * Plan artifacts (the compile→execute split): --plan-dir=<dir> loads
+ * each kernel's serialized plan artifact from the directory when a
+ * matching one exists (same kernel and compile options, checked by
+ * fingerprint) and dumps freshly compiled plans into it otherwise, so
+ * a second run skips compilation entirely. --plan-cache=off disables
+ * the in-process plan cache (every context compiles fresh); it is on
+ * by default. Use tools/distda_plan to inspect artifacts.
+ *
  * Examples:
  *   distda_run --workload=fdt --config=Dist-DA-F
  *   distda_run --workload=bfs --config=all --csv
@@ -54,8 +63,10 @@
  *       --report-dir=reports
  */
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -229,10 +240,20 @@ main(int argc, char **argv)
                 driver::parseInt(arg.substr(17), "--stats-interval"));
         } else if (arg.rfind("--report-dir=", 0) == 0) {
             sweep_opts.reportDir = arg.substr(13);
+        } else if (arg.rfind("--plan-dir=", 0) == 0) {
+            cfg.planDir = arg.substr(11);
+        } else if (arg == "--plan-cache" || arg == "--plan-cache=on") {
+            cfg.planCache = true;
+        } else if (arg == "--plan-cache=off") {
+            cfg.planCache = false;
         } else {
             fatal("unknown flag '%s'", arg.c_str());
         }
     }
+
+    if (!cfg.planDir.empty() &&
+        ::mkdir(cfg.planDir.c_str(), 0755) != 0 && errno != EEXIST)
+        fatal("cannot create plan dir '%s'", cfg.planDir.c_str());
 
     setInformEnabled(false);
     std::vector<std::string> workload_names;
