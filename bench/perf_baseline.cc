@@ -13,6 +13,9 @@
  * Flags (besides the common bench flags):
  *   --label=<name>  record label; output file BENCH_<label>.json
  *   --out=<dir>     output directory (default .)
+ *   --seq=<n>       baseline sequence number (default 0); committed
+ *                   records carry the PR number so perf_check.sh can
+ *                   pick the most recent one as its reference
  *
  * Timing defaults to --jobs=1 so records are comparable across
  * machines with different core counts; pass --jobs explicitly to
@@ -54,12 +57,15 @@ main(int argc, char **argv)
 
     std::string label = "local";
     std::string out_dir = ".";
+    long long seq = 0;
     bool jobs_given = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--label=", 8) == 0)
             label = argv[i] + 8;
         else if (std::strncmp(argv[i], "--out=", 6) == 0)
             out_dir = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--seq=", 6) == 0)
+            seq = driver::parseInt(argv[i] + 6, "--seq");
         else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
             jobs_given = true;
     }
@@ -108,6 +114,7 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
     std::fprintf(f, "  \"scale\": %.3f,\n", opts.run.scale);
     std::fprintf(f, "  \"jobs\": %d,\n", opts.sweep.jobs);
+    std::fprintf(f, "  \"seq\": %lld,\n", seq);
     std::fprintf(f, "  \"host\": {\n");
     std::fprintf(f, "    \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());

@@ -5,10 +5,16 @@
  * MMIO initialization overhead (%init), average buffers per partition
  * (#buf), maximum static instructions and DFG dimensions, and the
  * in-order microcode size in bytes (8B per instruction).
+ *
+ * A second table (VI-b) prints the offload-lifecycle latency
+ * breakdown the instrumentation records per workload: each phase's
+ * share of end-to-end invocation latency (the shares sum to 100% by
+ * the conservation invariant) plus per-invocation p50/p95/p99.
  */
 
 #include "bench/bench_common.hh"
 #include "src/driver/system.hh"
+#include "src/offload/lifecycle.hh"
 
 using namespace distda;
 
@@ -72,5 +78,42 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper ranges: %%cc 74-99, %%dc 60-99.98, %%init "
                 "0-1.73, #buf 0-3, #insts 4-55, insts(B) 32-440)\n");
+
+    std::printf("\n== Table VI-b: offload-lifecycle latency "
+                "breakdown (Dist-DA-IO, %% of e2e) ==\n");
+    std::printf("%-6s%9s", "bench", "invokes");
+    for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+        std::printf("%13s",
+                    offload::phaseName(static_cast<offload::Phase>(p)));
+    }
+    std::printf("%10s%10s%10s\n", "p50_ns", "p95_ns", "p99_ns");
+    next = 0;
+    for (const std::string &w : workloads::workloadNames()) {
+        const driver::Metrics &m = sweep[next++].metrics;
+        // Workload-level aggregation over the per-kernel rows; the
+        // quantiles shown are invocation-weighted means of the
+        // per-kernel estimates.
+        double invokes = 0.0, e2e = 0.0;
+        double phases[offload::kNumPhases] = {};
+        double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+        for (const driver::OffloadPhaseBreakdown &row :
+             m.offloadBreakdown) {
+            invokes += row.invocations;
+            e2e += row.e2eTicks;
+            for (std::size_t p = 0; p < offload::kNumPhases; ++p)
+                phases[p] += row.phaseTicks[p];
+            p50 += row.p50 * row.invocations;
+            p95 += row.p95 * row.invocations;
+            p99 += row.p99 * row.invocations;
+        }
+        std::printf("%-6s%9.0f", w.c_str(), invokes);
+        for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+            std::printf("%12.2f%%",
+                        e2e > 0.0 ? 100.0 * phases[p] / e2e : 0.0);
+        }
+        const double inv = invokes > 0.0 ? invokes : 1.0;
+        std::printf("%10.1f%10.1f%10.1f\n", p50 / inv / 1000.0,
+                    p95 / inv / 1000.0, p99 / inv / 1000.0);
+    }
     return 0;
 }

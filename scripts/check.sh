@@ -5,22 +5,28 @@
 #   3. full test suite
 #   4. parallel-sweep determinism smoke (--jobs=1 vs --jobs=N CSV)
 #      plus byte-identity against the committed golden CSV
-#   5. plan-analysis smoke: --analyze=json over every workload on
+#   5. breakdown/report-diff smoke: golden CSV byte-identical with
+#      --breakdown on, breakdown JSON validated (conservation, ordered
+#      quantiles), and distda_stats diff of two identical runs is
+#      empty with exit 0
+#   6. plan-analysis smoke: --analyze=json over every workload on
 #      both distributed substrates, validated with python3 (no
 #      violations, affine bounds proven, liveness proven, at least
 #      one memoizable kernel)
-#   6. plan-artifact round trip: dump every plan of the quick sweep
+#   7. plan-artifact round trip: dump every plan of the quick sweep
 #      to a --plan-dir, validate each artifact with distda_plan,
 #      re-run loading from the artifacts and from a disabled cache —
 #      the golden quick-sweep CSV must stay byte-identical both ways
-#   7. quick bench smoke through the sweep engine
-#   8. Release build + perf-regression gate (bench/perf_baseline vs
-#      the committed BENCH_seed.json, via scripts/perf_check.sh)
-#   9. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
+#   8. quick bench smoke through the sweep engine
+#   9. Release build + perf-regression gate (bench/perf_baseline vs
+#      the most recent committed BENCH_*.json, via
+#      scripts/perf_check.sh)
+#  10. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
 #      sweep smoke
-#  10. clang-tidy (when available): strict over src/verify + src/sim
-#      + src/compiler (warnings are errors), advisory elsewhere
-#  11. optionally ($RUN_BENCH=1) regenerate every table/figure
+#  11. clang-tidy (when available): strict over src/verify + src/sim
+#      + src/compiler + src/offload (warnings are errors), advisory
+#      elsewhere
+#  12. optionally ($RUN_BENCH=1) regenerate every table/figure
 set -e
 cd "$(dirname "$0")/.."
 
@@ -88,6 +94,45 @@ EOF
     --jobs="$JOBS" --report-dir="$BUILD/reports" \
     >"$BUILD/sweep-obs.csv" 2>/dev/null
 cmp tests/golden/quick_sweep.csv "$BUILD/sweep-obs.csv"
+
+echo "===== breakdown + report-diff smoke (--breakdown / distda_stats)"
+# The golden CSV must stay byte-identical with the breakdown table on
+# (it rides stderr under --csv).
+"$BUILD"/tools/distda_run --workload=all --config=all --quick --csv \
+    --jobs="$JOBS" --breakdown \
+    >"$BUILD/sweep-breakdown.csv" 2>/dev/null
+cmp tests/golden/quick_sweep.csv "$BUILD/sweep-breakdown.csv"
+"$BUILD"/tools/distda_run --workload=fdt --config=all --quick \
+    --breakdown=json >"$BUILD/breakdown.json" 2>/dev/null
+python3 - "$BUILD/breakdown.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+runs = doc["breakdown"]
+assert len(runs) == 6, f"expected 6 configs, got {len(runs)}"
+rows = 0
+for run in runs:
+    for k in run["kernels"]:
+        name = f"{run['workload']}/{run['config']}/{k['kernel']}"
+        phases = sum(k["phases"].values())
+        assert phases == k["e2e_ticks"], \
+            f"{name}: phases {phases} != e2e {k['e2e_ticks']}"
+        assert k["p50_ticks"] <= k["p95_ticks"] <= k["p99_ticks"], \
+            f"{name}: quantiles out of order"
+        assert k["min_ticks"] <= k["max_ticks"], f"{name}: min > max"
+        assert k["invocations"] > 0, f"{name}: no invocations"
+        rows += 1
+assert rows > 0, "breakdown document has no kernel rows"
+print(f"breakdown OK ({rows} kernel rows, conservation holds)")
+EOF
+# Two identical runs must diff clean with exit status 0.
+"$BUILD"/tools/distda_run --workload=bfs --config=Dist-DA-IO --quick \
+    --stats-json="$BUILD/diff-a.json" >/dev/null 2>&1
+"$BUILD"/tools/distda_run --workload=bfs --config=Dist-DA-IO --quick \
+    --stats-json="$BUILD/diff-b.json" >/dev/null 2>&1
+"$BUILD"/tools/distda_stats diff "$BUILD/diff-a.json" \
+    "$BUILD/diff-b.json" --changed-only
 
 echo "===== plan-analysis smoke (--analyze=json, both substrates)"
 "$BUILD"/tools/distda_run --workload=all --config=Dist-DA-IO --quick \
@@ -175,12 +220,14 @@ echo "===== TSan parallel sweep smoke"
 
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    echo "===== clang-tidy (strict: src/verify + src/sim + src/compiler)"
-    git ls-files 'src/verify/*.cc' 'src/sim/*.cc' 'src/compiler/*.cc' |
+    echo "===== clang-tidy (strict: src/verify + src/sim + src/compiler + src/offload)"
+    git ls-files 'src/verify/*.cc' 'src/sim/*.cc' 'src/compiler/*.cc' \
+        'src/offload/*.cc' |
         xargs clang-tidy -p "$BUILD" --quiet --warnings-as-errors='*'
     echo "===== clang-tidy (advisory: remaining sources)"
     git ls-files 'src/*.cc' 'tools/*.cc' |
-        grep -v -e '^src/verify/' -e '^src/sim/' -e '^src/compiler/' |
+        grep -v -e '^src/verify/' -e '^src/sim/' -e '^src/compiler/' \
+            -e '^src/offload/' |
         xargs clang-tidy -p "$BUILD" --quiet
 else
     echo "===== clang-tidy not installed; skipping lint"

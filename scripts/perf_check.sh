@@ -6,8 +6,10 @@
 # Usage: scripts/perf_check.sh <current.json> [baseline.json] [tolerance]
 #
 #   current.json   record to check (from bench/perf_baseline)
-#   baseline.json  reference record (default: BENCH_seed.json next to
-#                  this repo's root)
+#   baseline.json  reference record (default: the committed repo-root
+#                  BENCH_*.json with the highest "seq" field — the most
+#                  recently recorded baseline; records without seq,
+#                  like the original BENCH_seed.json, sort as 0)
 #   tolerance      allowed fractional slowdown of total wall-clock
 #                  (default 0.50: fail only when > 1.5x the baseline,
 #                  generous because CI machines are noisy and shared)
@@ -18,8 +20,33 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 current="${1:?usage: perf_check.sh <current.json> [baseline.json] [tol]}"
-baseline="${2:-$repo_root/BENCH_seed.json}"
+baseline="${2:-}"
 tolerance="${3:-0.50}"
+
+if [ -z "$baseline" ]; then
+    # Latest committed baseline: highest seq wins; ties go to the
+    # later file in sorted glob order (>= on a sorted scan).
+    baseline="$(python3 - "$repo_root" <<'EOF'
+import glob, json, os, sys
+root = sys.argv[1]
+best, best_seq = "", -1
+for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+    try:
+        with open(path) as f:
+            seq = int(json.load(f).get("seq", 0))
+    except (OSError, ValueError):
+        continue
+    if seq >= best_seq:
+        best, best_seq = path, seq
+print(best)
+EOF
+)"
+    [ -n "$baseline" ] || {
+        echo "perf_check: no BENCH_*.json baseline in $repo_root" >&2
+        exit 2
+    }
+    echo "perf_check: baseline $(basename "$baseline")"
+fi
 
 [ -f "$current" ] || { echo "perf_check: missing $current" >&2; exit 2; }
 [ -f "$baseline" ] || { echo "perf_check: missing $baseline" >&2; exit 2; }

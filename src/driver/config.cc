@@ -38,6 +38,20 @@ parseDouble(const std::string &text, const char *what)
     return v;
 }
 
+BreakdownMode
+parseBreakdownMode(const std::string &text, const char *what)
+{
+    if (text.empty() || text == "text")
+        return BreakdownMode::Text;
+    if (text == "json")
+        return BreakdownMode::Json;
+    if (text == "off")
+        return BreakdownMode::Off;
+    fatal("%s: '%s' is not a breakdown mode (text|json|off)", what,
+          text.c_str());
+    return BreakdownMode::Off; // unreachable
+}
+
 const char *
 archModelName(ArchModel m)
 {

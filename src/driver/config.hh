@@ -49,6 +49,22 @@ const char *archModelName(ArchModel m);
 std::int64_t parseInt(const std::string &text, const char *what);
 double parseDouble(const std::string &text, const char *what);
 
+/** Output mode for the per-kernel offload-lifecycle breakdown. */
+enum class BreakdownMode
+{
+    Off,  ///< no breakdown output
+    Text, ///< Table-VI-style per-kernel phase table
+    Json, ///< machine-readable JSON document on stdout
+};
+
+/**
+ * Strict parse of a --breakdown value: "" (bare flag) and "text" mean
+ * Text, "json" means Json; anything else is a fatal error naming
+ * @p what. "off" is accepted for script symmetry.
+ */
+BreakdownMode parseBreakdownMode(const std::string &text,
+                                 const char *what);
+
 /** All models evaluated in the headline figures, in plot order. */
 std::vector<ArchModel> headlineModels();
 

@@ -141,12 +141,14 @@ ExecContext::invoke(const compiler::Kernel &kernel,
     if (_config.analyzePlans || _probe)
         recordProfile(ck, kernel, bindings, params);
     const sim::Tick t0 = _now;
+    offload::OffloadRecord rec;
     if (ck.host) {
         engine::HostRunResult res = ck.host->run(bindings, params, _now);
         _now = res.endTick;
         _hostInsts += res.insts;
         _memOps += res.memOps;
         _lastResults = std::move(res.results);
+        rec = res.record;
     } else {
         offload::OffloadRunResult res =
             ck.runtime->invoke(bindings, params, _now);
@@ -154,9 +156,34 @@ ExecContext::invoke(const compiler::Kernel &kernel,
         _accelInsts += res.accelInsts;
         _memOps += res.memOps;
         _lastResults = std::move(res.results);
+        rec = res.record;
     }
-    if (_probe)
+    ck.lifecycle.add(rec); // asserts the conservation invariant
+    if (_probe) {
         _probe->span(ck.probeTrack, "invoke", t0, _now);
+        recordLifecycle(rec);
+    }
+}
+
+void
+ExecContext::recordLifecycle(const offload::OffloadRecord &rec)
+{
+    // Aggregate (cross-kernel) lifecycle distributions for the
+    // timeline/stats report. Registration is idempotent, so paying the
+    // map lookups only with a probe attached keeps the common path
+    // cheap.
+    for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+        _probe
+            ->addDist(std::string("offload.") +
+                          offload::phaseName(
+                              static_cast<offload::Phase>(p)) +
+                          "_ticks",
+                      0.0, 1e9, 50)
+            .sample(static_cast<double>(
+                rec.ticksIn(static_cast<offload::Phase>(p))));
+    }
+    _probe->addDist("offload.e2e_ticks", 0.0, 1e9, 50)
+        .sample(static_cast<double>(rec.endToEnd()));
 }
 
 double
@@ -345,6 +372,25 @@ ExecContext::finish()
             m.aaBytes += st.aaBytes;
             m.mmioOps += ck.runtime->mmioOps();
         }
+        // Per-kernel lifecycle rows, kernel-name order (std::map).
+        // Host-executed kernels appear too: their latency is all
+        // Execute, which makes the breakdown comparable across models.
+        const offload::LifecycleStats &lc = ck.lifecycle;
+        if (lc.invocations() == 0)
+            continue;
+        OffloadPhaseBreakdown row;
+        row.kernel = name;
+        row.invocations = static_cast<double>(lc.invocations());
+        for (std::size_t p = 0; p < offload::kNumPhases; ++p)
+            row.phaseTicks[p] = lc.phaseTicks(
+                static_cast<offload::Phase>(p));
+        row.e2eTicks = lc.e2eTicks();
+        row.p50 = lc.e2eDist().p50();
+        row.p95 = lc.e2eDist().p95();
+        row.p99 = lc.e2eDist().p99();
+        row.minTicks = lc.e2eDist().min();
+        row.maxTicks = lc.e2eDist().max();
+        m.offloadBreakdown.push_back(std::move(row));
     }
 
     // Data movement: bytes times interfaces crossed. Local buffer

@@ -113,6 +113,11 @@ class ExecContext
         std::unique_ptr<engine::HostExecutor> host;
         int probeTrack = -1; ///< per-kernel "invoke" span track
         verify::InvocationProfile profile;
+        /**
+         * Per-phase latency aggregation over this kernel's invocations;
+         * add() asserts each record's conservation invariant.
+         */
+        offload::LifecycleStats lifecycle;
     };
 
     CompiledKernel &compiled(const compiler::Kernel &kernel);
@@ -129,6 +134,8 @@ class ExecContext
                        const compiler::Kernel &kernel,
                        const std::vector<engine::ArrayRef> &bindings,
                        const std::vector<compiler::Word> &params);
+    /** Sample one invocation's record into the probe's dists. */
+    void recordLifecycle(const offload::OffloadRecord &rec);
 
     System &_sys;
     RunConfig _config;

@@ -11,11 +11,38 @@
 #ifndef DISTDA_DRIVER_METRICS_HH
 #define DISTDA_DRIVER_METRICS_HH
 
+#include <array>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace distda::driver
 {
+
+/**
+ * Per-kernel offload-lifecycle latency breakdown (one row per kernel,
+ * kernel-name order). Phase ticks follow src/offload/lifecycle.hh:
+ * enqueue, decode, buffer_alloc, dispatch, execute, writeback,
+ * complete — and always sum exactly to e2eTicks (the conservation
+ * invariant, asserted at record time and re-checked by the fuzz
+ * oracle). Quantiles are of the per-invocation end-to-end latency.
+ *
+ * Deliberately NOT part of the sweep CSV columns: it is surfaced via
+ * stats-JSON and the --breakdown table so the golden CSV stays
+ * byte-identical with the breakdown on or off.
+ */
+struct OffloadPhaseBreakdown
+{
+    std::string kernel;
+    double invocations = 0.0;
+    std::array<double, 7> phaseTicks{}; ///< lifecycle phase order
+    double e2eTicks = 0.0;
+    double p50 = 0.0; ///< per-invocation end-to-end, ticks
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double minTicks = 0.0;
+    double maxTicks = 0.0;
+};
 
 /** Metrics of one (workload, configuration) run. */
 struct Metrics
@@ -70,6 +97,9 @@ struct Metrics
     double aaBytes = 0.0;
 
     bool validated = false;
+
+    /** Per-kernel lifecycle breakdown (see OffloadPhaseBreakdown). */
+    std::vector<OffloadPhaseBreakdown> offloadBreakdown;
 
     /**
      * Host wall-clock spent simulating this run (setup + execution +

@@ -1,5 +1,6 @@
 #include "src/driver/report.hh"
 
+#include "src/offload/lifecycle.hh"
 #include "src/sim/json.hh"
 #include "src/sim/probe.hh"
 #include "src/sim/stats.hh"
@@ -9,6 +10,31 @@ namespace distda::driver
 
 namespace
 {
+
+void
+breakdownJson(sim::JsonWriter &w, const Metrics &m)
+{
+    w.beginArray();
+    for (const OffloadPhaseBreakdown &row : m.offloadBreakdown) {
+        w.beginObject();
+        w.key("kernel").value(row.kernel);
+        w.key("invocations").value(row.invocations);
+        w.key("phases").beginObject();
+        for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+            w.key(offload::phaseName(static_cast<offload::Phase>(p)))
+                .value(row.phaseTicks[p]);
+        }
+        w.endObject();
+        w.key("e2e_ticks").value(row.e2eTicks);
+        w.key("p50_ticks").value(row.p50);
+        w.key("p95_ticks").value(row.p95);
+        w.key("p99_ticks").value(row.p99);
+        w.key("min_ticks").value(row.minTicks);
+        w.key("max_ticks").value(row.maxTicks);
+        w.endObject();
+    }
+    w.endArray();
+}
 
 void
 metricsJson(sim::JsonWriter &w, const Metrics &m)
@@ -83,6 +109,12 @@ buildRunReport(const Metrics &m, System &sys, const sim::Probe *probe,
     w.key("validated").value(m.validated);
     w.key("metrics");
     metricsJson(w, m);
+    w.key("offload_breakdown");
+    breakdownJson(w, m);
+    // Ring-buffer losses, surfaced whether or not a probe ran so the
+    // key is always present for schema consumers.
+    w.key("dropped_events")
+        .value(probe ? probe->dropped() : std::uint64_t{0});
     w.key("stats");
     root.jsonDump(w);
     if (probe) {

@@ -59,6 +59,13 @@ runWorkload(const std::string &workload, const RunConfig &config,
     m.wallMs = wall_ms(t0, Clock::now());
 
     if (probe) {
+        if (probe->dropped() > 0) {
+            warn("probe ring buffer overflowed: %llu event(s) dropped "
+                 "for %s/%s (oldest-first); raise the ring capacity or "
+                 "shorten the run for a complete timeline",
+                 static_cast<unsigned long long>(probe->dropped()),
+                 workload.c_str(), archModelName(config.model));
+        }
         if (!opts.obs.timelinePath.empty())
             probe->writeChromeTrace(opts.obs.timelinePath);
         if (!opts.obs.statsJsonPath.empty()) {

@@ -1,0 +1,248 @@
+#include "src/driver/statsdiff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/sim/logging.hh"
+
+namespace distda::driver
+{
+
+double
+DiffRow::pct() const
+{
+    if (a == 0.0)
+        return 0.0;
+    return 100.0 * (b - a) / std::fabs(a);
+}
+
+std::vector<std::string>
+defaultIgnoreSubstrings()
+{
+    // Wall-clock and machine-shape leaves: legitimate runs differ in
+    // these even when the simulation is bit-identical.
+    return {"wall_ms", "compile_ms", "saved", "sim_rate",
+            "hardware_threads"};
+}
+
+namespace
+{
+
+void
+flattenInto(const sim::JsonValue &v, const std::string &prefix,
+            std::vector<std::pair<std::string, double>> &out)
+{
+    switch (v.kind) {
+      case sim::JsonValue::Kind::Number:
+        out.emplace_back(prefix, v.num);
+        break;
+      case sim::JsonValue::Kind::Bool:
+        out.emplace_back(prefix, v.b ? 1.0 : 0.0);
+        break;
+      case sim::JsonValue::Kind::Object:
+        for (const auto &[key, child] : v.obj) {
+            flattenInto(child,
+                        prefix.empty() ? key : prefix + "." + key, out);
+        }
+        break;
+      case sim::JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.arr.size(); ++i) {
+            flattenInto(v.arr[i],
+                        prefix + "[" + std::to_string(i) + "]", out);
+        }
+        break;
+      default:
+        break; // strings and nulls are not comparable leaves
+    }
+}
+
+bool
+ignored(const std::string &path, const StatsDiffOptions &opts)
+{
+    for (const std::string &frag : opts.ignoreSubstrings) {
+        if (path.find(frag) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+bool
+rowFails(const DiffRow &r, const StatsDiffOptions &opts)
+{
+    if (!r.inA || !r.inB)
+        return true; // structural difference always fails the gate
+    if (r.a == r.b)
+        return false;
+    if (r.zeroBaseline())
+        return true; // no finite percentage to gate on
+    return std::fabs(r.pct()) > opts.thresholdPct;
+}
+
+std::string
+fmtNum(double v)
+{
+    return strfmt("%.6g", v);
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, double>>
+flattenNumericLeaves(const sim::JsonValue &v)
+{
+    std::vector<std::pair<std::string, double>> out;
+    flattenInto(v, "", out);
+    return out;
+}
+
+StatsDiff
+diffReports(const sim::JsonValue &a, const sim::JsonValue &b,
+            const StatsDiffOptions &opts)
+{
+    const auto leaves_a = flattenNumericLeaves(a);
+    const auto leaves_b = flattenNumericLeaves(b);
+
+    std::map<std::string, double> b_by_path;
+    for (const auto &[path, val] : leaves_b) {
+        if (!ignored(path, opts))
+            b_by_path.emplace(path, val);
+    }
+
+    StatsDiff d;
+    for (const auto &[path, val] : leaves_a) {
+        if (ignored(path, opts))
+            continue;
+        DiffRow row;
+        row.path = path;
+        row.inA = true;
+        row.a = val;
+        auto it = b_by_path.find(path);
+        if (it != b_by_path.end()) {
+            row.inB = true;
+            row.b = it->second;
+            b_by_path.erase(it);
+            ++d.compared;
+        } else {
+            ++d.onlyA;
+        }
+        d.rows.push_back(std::move(row));
+    }
+    for (const auto &[path, val] : b_by_path) {
+        DiffRow row;
+        row.path = path;
+        row.inB = true;
+        row.b = val;
+        d.rows.push_back(std::move(row));
+        ++d.onlyB;
+    }
+
+    for (const DiffRow &row : d.rows) {
+        if (row.changed())
+            ++d.changed;
+        if (rowFails(row, opts))
+            ++d.failed;
+    }
+    return d;
+}
+
+std::string
+renderDiff(const StatsDiff &d, const StatsDiffOptions &opts,
+           const std::string &label_a, const std::string &label_b)
+{
+    std::string out;
+    const char *sep = opts.format == DiffFormat::Csv ? "," : " | ";
+
+    auto cell = [&](const DiffRow &r, int col) -> std::string {
+        switch (col) {
+          case 0: return r.path;
+          case 1: return r.inA ? fmtNum(r.a) : "-";
+          case 2: return r.inB ? fmtNum(r.b) : "-";
+          case 3:
+            return r.inA && r.inB ? fmtNum(r.delta()) : "-";
+          default:
+            if (!r.inA || !r.inB)
+                return r.inA ? "removed" : "added";
+            if (r.a == r.b)
+                return "0";
+            if (r.zeroBaseline())
+                return "inf";
+            return fmtNum(r.pct());
+        }
+    };
+    const std::string header[5] = {"metric", label_a, label_b, "delta",
+                                   "delta_pct"};
+
+    if (opts.format == DiffFormat::Text) {
+        // Column widths over everything printed, so the table aligns.
+        std::size_t width[5];
+        for (int c = 0; c < 5; ++c)
+            width[c] = header[c].size();
+        for (const DiffRow &r : d.rows) {
+            if (opts.changedOnly && !r.changed())
+                continue;
+            for (int c = 0; c < 5; ++c)
+                width[c] = std::max(width[c], cell(r, c).size());
+        }
+        auto emitRow = [&](const std::string cols[5]) {
+            for (int c = 0; c < 5; ++c) {
+                const std::string &s = cols[c];
+                if (c > 0)
+                    out += "  ";
+                if (c == 0) {
+                    out += s;
+                    out.append(width[0] - s.size(), ' ');
+                } else {
+                    out.append(width[c] - s.size(), ' ');
+                    out += s;
+                }
+            }
+            out += '\n';
+        };
+        emitRow(header);
+        for (const DiffRow &r : d.rows) {
+            if (opts.changedOnly && !r.changed())
+                continue;
+            const std::string cols[5] = {cell(r, 0), cell(r, 1),
+                                         cell(r, 2), cell(r, 3),
+                                         cell(r, 4)};
+            emitRow(cols);
+        }
+        out += strfmt("%zu compared, %zu changed, %zu beyond "
+                      "threshold (%.6g%%), %zu only in %s, %zu only "
+                      "in %s\n",
+                      d.compared, d.changed, d.failed,
+                      opts.thresholdPct, d.onlyA, label_a.c_str(),
+                      d.onlyB, label_b.c_str());
+        return out;
+    }
+
+    // Markdown and CSV share the row loop; markdown adds the rule.
+    for (int c = 0; c < 5; ++c) {
+        if (c > 0)
+            out += sep;
+        else if (opts.format == DiffFormat::Markdown)
+            out += "| ";
+        out += header[c];
+    }
+    if (opts.format == DiffFormat::Markdown) {
+        out += " |\n|---|---:|---:|---:|---:|";
+    }
+    out += '\n';
+    for (const DiffRow &r : d.rows) {
+        if (opts.changedOnly && !r.changed())
+            continue;
+        for (int c = 0; c < 5; ++c) {
+            if (c > 0)
+                out += sep;
+            else if (opts.format == DiffFormat::Markdown)
+                out += "| ";
+            out += cell(r, c);
+        }
+        if (opts.format == DiffFormat::Markdown)
+            out += " |";
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace distda::driver

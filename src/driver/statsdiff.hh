@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Report comparison for stats-JSON documents (tools/distda_stats): two
+ * parsed reports are flattened into dotted numeric leaf paths, joined
+ * by path, and rendered as a delta table. The same machinery compares
+ * BENCH_*.json perf-baseline files — any JSON document whose leaves
+ * are numbers works.
+ *
+ * Machine-dependent leaves (wall-clock times, simulation rates) are
+ * ignored by default so two runs of the same binary on the same inputs
+ * diff clean; --all clears the ignore list for raw comparisons.
+ */
+
+#ifndef DISTDA_DRIVER_STATSDIFF_HH
+#define DISTDA_DRIVER_STATSDIFF_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sim/json.hh"
+
+namespace distda::driver
+{
+
+/** One joined leaf: present in A, B or both. */
+struct DiffRow
+{
+    std::string path; ///< dotted leaf path, arrays as "[i]"
+    bool inA = false;
+    bool inB = false;
+    double a = 0.0;
+    double b = 0.0;
+
+    double delta() const { return b - a; }
+
+    /**
+     * Percent change relative to A; 0 when both are 0. A zero
+     * baseline with a nonzero B has no finite percentage — callers
+     * must test zeroBaseline() before trusting pct().
+     */
+    double pct() const;
+    bool zeroBaseline() const { return a == 0.0 && b != 0.0; }
+    bool changed() const { return !inA || !inB || a != b; }
+};
+
+/** Output table format. */
+enum class DiffFormat
+{
+    Text,
+    Markdown,
+    Csv,
+};
+
+/** Comparison options. */
+struct StatsDiffOptions
+{
+    /**
+     * Gate: a row fails when |pct()| exceeds this (percent), or the
+     * value appears/disappears, or the baseline is zero with a
+     * nonzero B. The default 0 means any numeric change fails — two
+     * identical runs must diff clean.
+     */
+    double thresholdPct = 0.0;
+    /** Leaf paths containing any of these substrings are skipped. */
+    std::vector<std::string> ignoreSubstrings;
+    DiffFormat format = DiffFormat::Text;
+    /** Emit only rows with a change (the summary still counts all). */
+    bool changedOnly = false;
+};
+
+/** Machine-dependent leaf fragments skipped by default. */
+std::vector<std::string> defaultIgnoreSubstrings();
+
+/** Outcome of a comparison. */
+struct StatsDiff
+{
+    std::vector<DiffRow> rows; ///< A's document order, B-only last
+    std::size_t compared = 0;  ///< rows present in both
+    std::size_t changed = 0;
+    std::size_t failed = 0; ///< rows beyond the threshold gate
+    std::size_t onlyA = 0;
+    std::size_t onlyB = 0;
+
+    bool pass() const { return failed == 0; }
+};
+
+/**
+ * Flatten every numeric leaf of @p v (numbers, and booleans as 0/1)
+ * into ("dotted.path", value) pairs, depth-first in document order.
+ * Array elements get "[index]" path segments.
+ */
+std::vector<std::pair<std::string, double>> flattenNumericLeaves(
+    const sim::JsonValue &v);
+
+/** Compare two parsed reports. */
+StatsDiff diffReports(const sim::JsonValue &a, const sim::JsonValue &b,
+                      const StatsDiffOptions &opts);
+
+/** Render @p d as a table in the requested format. */
+std::string renderDiff(const StatsDiff &d, const StatsDiffOptions &opts,
+                       const std::string &label_a,
+                       const std::string &label_b);
+
+} // namespace distda::driver
+
+#endif // DISTDA_DRIVER_STATSDIFF_HH

@@ -278,6 +278,9 @@ HostExecutor::run(const std::vector<ArrayRef> &bindings,
             {node, carry_state[static_cast<std::size_t>(node)]});
     }
     result.endTick = now;
+    result.record.start = start_tick;
+    result.record.end = now;
+    result.record.add(offload::Phase::Execute, now - start_tick);
     return result;
 }
 

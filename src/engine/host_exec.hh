@@ -19,6 +19,7 @@
 #include "src/energy/energy_model.hh"
 #include "src/engine/backend.hh"
 #include "src/mem/hierarchy.hh"
+#include "src/offload/lifecycle.hh"
 
 namespace distda::engine
 {
@@ -49,6 +50,12 @@ struct HostRunResult
     double insts = 0.0;
     double memOps = 0.0;
     std::vector<std::pair<int, compiler::Word>> results;
+    /**
+     * Lifecycle record of this run: the host path has no interface
+     * traffic, so the whole end-to-end latency is Execute and the
+     * other six phases are zero (trivially conserved).
+     */
+    offload::OffloadRecord record;
 };
 
 /** Executes kernels directly on the host core. */

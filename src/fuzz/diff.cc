@@ -144,6 +144,33 @@ checkSanity(const PathResult &r, std::vector<Finding> &findings)
         if (!std::isfinite(pj) || pj < 0.0)
             bad(strfmt("energy[%s] = %g", comp.c_str(), pj));
     }
+    // Offload-lifecycle breakdown: conservation (phases sum exactly to
+    // the end-to-end latency) plus ordering of the summary statistics.
+    for (const driver::OffloadPhaseBreakdown &row :
+         r.metrics.offloadBreakdown) {
+        double phase_sum = 0.0;
+        for (double t : row.phaseTicks) {
+            if (!std::isfinite(t) || t < 0.0)
+                bad(strfmt("breakdown[%s] phase ticks %g",
+                           row.kernel.c_str(), t));
+            phase_sum += t;
+        }
+        if (phase_sum != row.e2eTicks) {
+            bad(strfmt("breakdown[%s] violates conservation: phases "
+                       "sum %.17g != e2e %.17g",
+                       row.kernel.c_str(), phase_sum, row.e2eTicks));
+        }
+        if (row.invocations <= 0.0)
+            bad(strfmt("breakdown[%s] has %g invocations",
+                       row.kernel.c_str(), row.invocations));
+        if (!(row.p50 <= row.p95 && row.p95 <= row.p99))
+            bad(strfmt("breakdown[%s] quantiles out of order: "
+                       "p50 %g p95 %g p99 %g",
+                       row.kernel.c_str(), row.p50, row.p95, row.p99));
+        if (row.minTicks > row.maxTicks)
+            bad(strfmt("breakdown[%s] min %g > max %g",
+                       row.kernel.c_str(), row.minTicks, row.maxTicks));
+    }
 }
 
 /** Concrete view of one invocation, for re-checking Proven claims. */
@@ -592,8 +619,51 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
             }
         }
     };
+    // The lifecycle breakdown rides the same determinism contract:
+    // equivalent Dist-DA-IO legs must attribute identical per-phase
+    // ticks, not just identical totals.
+    auto cross_check_breakdown = [&](const PathResult *a,
+                                     const PathResult *b,
+                                     const char *what) {
+        if (!a || !b || a->crashed || b->crashed)
+            return;
+        const auto &ba = a->metrics.offloadBreakdown;
+        const auto &bb = b->metrics.offloadBreakdown;
+        if (ba.size() != bb.size()) {
+            out.findings.push_back(Finding{
+                Finding::Kind::Divergence,
+                strfmt("%s breakdown row count differs: %zu vs %zu",
+                       what, ba.size(), bb.size())});
+            return;
+        }
+        for (std::size_t i = 0; i < ba.size(); ++i) {
+            if (ba[i].kernel != bb[i].kernel) {
+                out.findings.push_back(Finding{
+                    Finding::Kind::Divergence,
+                    strfmt("%s breakdown row %zu kernel differs: "
+                           "'%s' vs '%s'",
+                           what, i, ba[i].kernel.c_str(),
+                           bb[i].kernel.c_str())});
+                continue;
+            }
+            const bool equal =
+                ba[i].invocations == bb[i].invocations &&
+                ba[i].phaseTicks == bb[i].phaseTicks &&
+                ba[i].e2eTicks == bb[i].e2eTicks;
+            if (!equal) {
+                out.findings.push_back(Finding{
+                    Finding::Kind::Divergence,
+                    strfmt("%s breakdown for kernel '%s' differs "
+                           "(e2e %.17g vs %.17g)",
+                           what, ba[i].kernel.c_str(), ba[i].e2eTicks,
+                           bb[i].e2eTicks)});
+            }
+        }
+    };
     cross_check_metrics(interp, pre, "interp/predecode");
     cross_check_metrics(pre, replan, "predecode/replan");
+    cross_check_breakdown(interp, pre, "interp/predecode");
+    cross_check_breakdown(pre, replan, "predecode/replan");
 
     for (const PathResult &r : out.paths)
         checkSanity(r, out.findings);

@@ -110,11 +110,23 @@ CoprocessorInterface::mmio(int cluster, std::uint32_t bytes,
 }
 
 sim::Tick
+CoprocessorInterface::mmioPhase(Phase phase, int cluster,
+                                std::uint32_t bytes, sim::Tick now,
+                                bool posted)
+{
+    const sim::Tick done = mmio(cluster, bytes, now, posted);
+    if (_rec)
+        _rec->add(phase, done - now);
+    return done;
+}
+
+sim::Tick
 CoprocessorInterface::cpConfig(int cluster, std::uint32_t config_bytes,
                                sim::Tick now)
 {
     _configBytes += config_bytes;
-    return mmio(cluster, 8 + config_bytes, now, true);
+    return mmioPhase(Phase::Decode, cluster, 8 + config_bytes, now,
+                     true);
 }
 
 sim::Tick
@@ -130,7 +142,8 @@ CoprocessorInterface::cpConfigStream(int cluster, int access_id,
                                        buffer_bytes);
     if (buf_id)
         *buf_id = buf;
-    return mmio(cluster, 32, now, true); // start/stride/length/args
+    // start/stride/length/args
+    return mmioPhase(Phase::BufferAlloc, cluster, 32, now, true);
 }
 
 sim::Tick
@@ -141,7 +154,7 @@ CoprocessorInterface::cpConfigRandom(int cluster, int access_id,
     const int buf = _sched.allocRandom(access_id, cluster, start, end);
     if (buf_id)
         *buf_id = buf;
-    return mmio(cluster, 24, now, true);
+    return mmioPhase(Phase::BufferAlloc, cluster, 24, now, true);
 }
 
 sim::Tick
@@ -150,21 +163,21 @@ CoprocessorInterface::cpSetRf(int cluster, int reg, compiler::Word value,
 {
     (void)reg;
     (void)value;
-    return mmio(cluster, 16, now, true);
+    return mmioPhase(Phase::Enqueue, cluster, 16, now, true);
 }
 
 sim::Tick
 CoprocessorInterface::cpLoadRf(int cluster, int reg, sim::Tick now)
 {
     (void)reg;
-    return mmio(cluster, 8, now, false);
+    return mmioPhase(Phase::Complete, cluster, 8, now, false);
 }
 
 sim::Tick
 CoprocessorInterface::cpRun(int cluster, sim::Tick now)
 {
     // The launch must reach the accelerator before execution starts.
-    return mmio(cluster, 8, now, false);
+    return mmioPhase(Phase::Dispatch, cluster, 8, now, false);
 }
 
 sim::Tick

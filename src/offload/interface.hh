@@ -22,6 +22,7 @@
 #include "src/compiler/dfg.hh"
 #include "src/energy/energy_model.hh"
 #include "src/mem/hierarchy.hh"
+#include "src/offload/lifecycle.hh"
 
 namespace distda::offload
 {
@@ -132,6 +133,17 @@ class CoprocessorInterface
     /** Control bytes pushed for configurations. */
     double configBytes() const { return _configBytes; }
 
+    /**
+     * Attach the per-invocation lifecycle record host-time deltas are
+     * attributed to: each intrinsic adds (returned tick - now) to its
+     * phase — cp_config to Decode, cp_config_stream/random to
+     * BufferAlloc, cp_set_rf to Enqueue, cp_run to Dispatch and
+     * cp_load_rf to Complete. Null (the default) disables attribution;
+     * cp_consume is left to the caller, whose done-token bookkeeping
+     * is not a simple delta of the host timeline.
+     */
+    void setRecord(OffloadRecord *rec) { _rec = rec; }
+
   private:
     /**
      * One MMIO intrinsic: energy + NoC control transfer. Posted
@@ -141,9 +153,14 @@ class CoprocessorInterface
     sim::Tick mmio(int cluster, std::uint32_t bytes, sim::Tick now,
                    bool posted);
 
+    /** mmio() plus phase attribution of the host-visible delta. */
+    sim::Tick mmioPhase(Phase phase, int cluster, std::uint32_t bytes,
+                        sim::Tick now, bool posted);
+
     mem::Hierarchy *_hier;
     energy::Accountant *_acct;
     AccelScheduler _sched;
+    OffloadRecord *_rec = nullptr;
     double _mmioOps = 0.0;
     double _configBytes = 0.0;
 };

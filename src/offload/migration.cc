@@ -32,6 +32,10 @@ MemoryServiceLayer::runTask(engine::ArrayRef &arr, std::uint64_t idx,
     const int home = _hier->l3().clusterOf(addr);
     const int host = _hier->mesh().hostNode();
 
+    OffloadRecord rec;
+    rec.start = now;
+    _iface.setRecord(&rec);
+
     if (!_configured && _policy != MigrationPolicy::HostOnly) {
         // One-time: configure the task accelerator at every cluster
         // (the "already configured accelerator" of §IV-B).
@@ -61,13 +65,20 @@ MemoryServiceLayer::runTask(engine::ArrayRef &arr, std::uint64_t idx,
 
     if (!migrate) {
         // Host executes the read-modify-write through its hierarchy.
-        const auto rd = _hier->hostAccess(addr, arr.elemBytes, false,
-                                          std::max(now, _hostBusy));
-        const sim::Tick t = std::max(now, _hostBusy) + rd.latency + 500;
+        const sim::Tick queued = std::max(now, _hostBusy);
+        rec.add(Phase::Enqueue, queued - now);
+        const auto rd =
+            _hier->hostAccess(addr, arr.elemBytes, false, queued);
+        const sim::Tick t = queued + rd.latency + 500;
+        rec.add(Phase::Execute, t - queued);
         _hier->hostAccess(addr, arr.elemBytes, true, t);
         _hostBusy = t + 500;
+        rec.add(Phase::Writeback, _hostBusy - t);
         if (home == host)
             _stats.localExecutions += 1.0;
+        _iface.setRecord(nullptr);
+        rec.end = _hostBusy;
+        _lifecycle.add(rec);
         return _hostBusy;
     }
 
@@ -90,9 +101,13 @@ MemoryServiceLayer::runTask(engine::ArrayRef &arr, std::uint64_t idx,
     const auto rd =
         _hier->accelAccess(addr, arr.elemBytes, false, target, t);
     t += rd.latency + 1000; // compare + select on the task unit
+    rec.add(Phase::Execute, rd.latency + 1000);
     _hier->accelAccess(addr, arr.elemBytes, true, target, t);
     if (target == home)
         _stats.localExecutions += 1.0;
+    _iface.setRecord(nullptr);
+    rec.end = t;
+    _lifecycle.add(rec);
     return t;
 }
 

@@ -63,12 +63,23 @@ class MemoryServiceLayer
     const MigrationStats &stats() const { return _stats; }
     double mmioOps() const { return _iface.mmioOps(); }
 
+    /**
+     * Per-task lifecycle breakdown (one OffloadRecord per runTask,
+     * conservation-checked): host-path tasks split into Enqueue
+     * (host-core queueing), Execute (read + update) and Writeback
+     * (store drain); migrated tasks into Decode (one-time cp_config),
+     * Enqueue (operand cp_set_rf), Dispatch (cp_run) and Execute
+     * (the near-data read-modify-write).
+     */
+    const LifecycleStats &lifecycle() const { return _lifecycle; }
+
   private:
     mem::Hierarchy *_hier;
     CoprocessorInterface _iface;
     MigrationPolicy _policy;
     sim::Rng _rng;
     MigrationStats _stats;
+    LifecycleStats _lifecycle;
     bool _configured = false;
     sim::Tick _hostBusy = 0;
 };

@@ -50,6 +50,15 @@ OffloadRuntime::invoke(const std::vector<engine::ArrayRef> &bindings,
 {
     sim::Tick t = start_tick;
 
+    // Per-invocation lifecycle record: the interface attributes each
+    // intrinsic's host-time delta to its phase; execution and the
+    // done-token wait are attributed below. All deltas telescope over
+    // the single monotone timeline, so conservation holds by
+    // construction.
+    OffloadRecord rec;
+    rec.start = start_tick;
+    _iface.setRecord(&rec);
+
     // Home clusters for MMIO targeting (greedy by object base).
     auto cluster_of = [&](const Partition &part) {
         if (part.level == compiler::PlacementLevel::NearHost ||
@@ -134,6 +143,7 @@ OffloadRuntime::invoke(const std::vector<engine::ArrayRef> &bindings,
 
     // Concurrent decoupled execution.
     engine::InvokeResult inv = _engine.invoke(bindings, params, t);
+    rec.add(Phase::Execute, inv.endTick - t);
 
     // The host blocks consuming the done token from each sink.
     sim::Tick done = inv.endTick;
@@ -142,6 +152,7 @@ OffloadRuntime::invoke(const std::vector<engine::ArrayRef> &bindings,
             done = std::max(done, _iface.cpConsumeDone(cluster_of(part),
                                                        inv.endTick, t));
     }
+    rec.add(Phase::Writeback, done - inv.endTick);
 
     // Read back result registers.
     for (const auto &[node, value] : inv.results) {
@@ -152,11 +163,15 @@ OffloadRuntime::invoke(const std::vector<engine::ArrayRef> &bindings,
             0, done);
     }
 
+    _iface.setRecord(nullptr);
+    rec.end = done;
+
     OffloadRunResult result;
     result.endTick = done;
     result.results = std::move(inv.results);
     result.accelInsts = inv.accelInsts;
     result.memOps = inv.memOps;
+    result.record = rec;
     return result;
 }
 

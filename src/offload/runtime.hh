@@ -27,6 +27,12 @@ struct OffloadRunResult
     std::vector<std::pair<int, compiler::Word>> results;
     double accelInsts = 0.0;
     double memOps = 0.0;
+    /**
+     * Phase timing of this invocation (src/offload/lifecycle.hh);
+     * always conserved: the phases telescope over the host timeline,
+     * so they sum exactly to endTick - start_tick.
+     */
+    OffloadRecord record;
 };
 
 /** Drives one compiled plan through the interface, per invocation. */

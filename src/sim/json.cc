@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/sim/logging.hh"
 
@@ -192,6 +194,301 @@ writeTextFile(const std::string &path, const std::string &text)
     if (!ok)
         warn("short write to '%s'", path.c_str());
     return ok;
+}
+
+bool
+readTextFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        warn("cannot open '%s' for reading", path.c_str());
+        return false;
+    }
+    out.clear();
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok)
+        warn("read error on '%s'", path.c_str());
+    return ok;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        panic("JSON object has no member '%s'", key.c_str());
+    return *v;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a bounded character range. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &err)
+        : _s(text), _err(err)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (_pos != _s.size())
+            return fail("trailing content after JSON document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        _err = strfmt("%s at offset %zu", what, _pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               (_s[_pos] == ' ' || _s[_pos] == '\t' ||
+                _s[_pos] == '\n' || _s[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::strlen(word);
+        if (_s.compare(_pos, len, word) != 0)
+            return fail("unrecognized literal");
+        _pos += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (_pos >= _s.size() || _s[_pos] != '"')
+            return fail("expected string");
+        ++_pos;
+        out.clear();
+        while (_pos < _s.size() && _s[_pos] != '"') {
+            char ch = _s[_pos];
+            if (ch != '\\') {
+                out.push_back(ch);
+                ++_pos;
+                continue;
+            }
+            if (++_pos >= _s.size())
+                return fail("unterminated escape");
+            ch = _s[_pos];
+            switch (ch) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  if (_pos + 4 >= _s.size())
+                      return fail("truncated \\u escape");
+                  unsigned cp = 0;
+                  for (int k = 1; k <= 4; ++k) {
+                      const char h = _s[_pos + k];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return fail("bad \\u escape digit");
+                  }
+                  _pos += 4;
+                  // UTF-8 encode (BMP only; the writer never emits
+                  // surrogate pairs).
+                  if (cp < 0x80) {
+                      out.push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      out.push_back(
+                          static_cast<char>(0xC0 | (cp >> 6)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  } else {
+                      out.push_back(
+                          static_cast<char>(0xE0 | (cp >> 12)));
+                      out.push_back(static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3F)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  }
+                  break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+            ++_pos;
+        }
+        if (_pos >= _s.size())
+            return fail("unterminated string");
+        ++_pos; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > 128)
+            return fail("JSON nesting too deep");
+        skipWs();
+        if (_pos >= _s.size())
+            return fail("unexpected end of input");
+        const char ch = _s[_pos];
+        if (ch == '{') {
+            out.kind = JsonValue::Kind::Object;
+            ++_pos;
+            skipWs();
+            if (_pos < _s.size() && _s[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (_pos >= _s.size() || _s[_pos] != ':')
+                    return fail("expected ':' in object");
+                ++_pos;
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.obj.emplace_back(std::move(key),
+                                     std::move(member));
+                skipWs();
+                if (_pos >= _s.size())
+                    return fail("unterminated object");
+                if (_s[_pos] == ',') {
+                    ++_pos;
+                    continue;
+                }
+                if (_s[_pos] == '}') {
+                    ++_pos;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        if (ch == '[') {
+            out.kind = JsonValue::Kind::Array;
+            ++_pos;
+            skipWs();
+            if (_pos < _s.size() && _s[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            while (true) {
+                JsonValue elem;
+                if (!parseValue(elem, depth + 1))
+                    return false;
+                out.arr.push_back(std::move(elem));
+                skipWs();
+                if (_pos >= _s.size())
+                    return fail("unterminated array");
+                if (_s[_pos] == ',') {
+                    ++_pos;
+                    continue;
+                }
+                if (_s[_pos] == ']') {
+                    ++_pos;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        if (ch == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (ch == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.b = true;
+            return literal("true");
+        }
+        if (ch == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.b = false;
+            return literal("false");
+        }
+        if (ch == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        if (ch == '-' || (ch >= '0' && ch <= '9')) {
+            out.kind = JsonValue::Kind::Number;
+            char *end = nullptr;
+            out.num = std::strtod(_s.c_str() + _pos, &end);
+            const auto consumed = static_cast<std::size_t>(
+                end - (_s.c_str() + _pos));
+            if (consumed == 0)
+                return fail("malformed number");
+            _pos += consumed;
+            return true;
+        }
+        return fail("unexpected character");
+    }
+
+    const std::string &_s;
+    std::string &_err;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+tryParseJson(const std::string &text, JsonValue &out, std::string &err)
+{
+    out = JsonValue{};
+    err.clear();
+    JsonParser p(text, err);
+    return p.parse(out);
+}
+
+JsonValue
+parseJson(const std::string &text, const char *what)
+{
+    JsonValue v;
+    std::string err;
+    if (!tryParseJson(text, v, err))
+        fatal("%s: malformed JSON: %s", what, err.c_str());
+    return v;
 }
 
 } // namespace distda::sim

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace distda::sim
@@ -64,6 +65,60 @@ class JsonWriter
 
 /** Write @p text to @p path; returns false (with warn) on I/O error. */
 bool writeTextFile(const std::string &path, const std::string &text);
+
+/** Read @p path into @p out; returns false (with warn) when absent. */
+bool readTextFile(const std::string &path, std::string &out);
+
+/**
+ * A parsed JSON value — the read-side counterpart of JsonWriter,
+ * added for the report-comparison tooling (tools/distda_stats) and
+ * report schema tests. Object members preserve document order so
+ * diffs of two reports line up with the files.
+ */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup on an object; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** find() that panics when the member is missing. */
+    const JsonValue &at(const std::string &key) const;
+};
+
+/**
+ * Parse a complete JSON document. On success returns true and fills
+ * @p out; on malformed input returns false with a position-annotated
+ * message in @p err. Accepts exactly what JsonWriter emits (RFC 8259
+ * minus \uXXXX escapes above the ASCII range, which the writer never
+ * produces).
+ */
+bool tryParseJson(const std::string &text, JsonValue &out,
+                  std::string &err);
+
+/** tryParseJson() that is fatal on malformed input, naming @p what. */
+JsonValue parseJson(const std::string &text, const char *what);
 
 } // namespace distda::sim
 

@@ -10,6 +10,7 @@
 #ifndef DISTDA_SIM_STATS_HH
 #define DISTDA_SIM_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -42,11 +43,44 @@ class Scalar
 };
 
 /**
+ * Streaming quantile estimator (the P² algorithm of Jain & Chlamtac,
+ * CACM 1985): five markers track the running quantile of an unbounded
+ * stream in O(1) memory, adjusted by parabolic interpolation as
+ * samples arrive. Exact for the first five samples (sorted buffer);
+ * an estimate thereafter. Deterministic given the sample order, so
+ * reported quantiles are reproducible run to run.
+ */
+class P2Quantile
+{
+  public:
+    explicit P2Quantile(double q = 0.5) : _q(q) {}
+
+    void add(double v);
+
+    /** Current estimate (exact while fewer than 6 samples; 0 empty). */
+    double value() const;
+
+    double quantile() const { return _q; }
+    std::uint64_t samples() const { return _n; }
+
+    void reset();
+
+  private:
+    double _q;
+    std::uint64_t _n = 0;
+    double _heights[5] = {};   ///< marker heights q_i
+    double _positions[5] = {}; ///< marker positions n_i
+    double _desired[5] = {};   ///< desired positions n'_i
+};
+
+/**
  * A fixed-bucket histogram over [lo, hi) with running count, sum,
  * min, max and sum-of-squares, so mean and standard deviation come
  * for free. Samples outside the range land in underflow/overflow
  * counters rather than being dropped, so count() is always the true
- * sample count.
+ * sample count. Every distribution additionally carries streaming
+ * p50/p95/p99 estimates (P²), which see each sample once regardless
+ * of its weight.
  */
 class Distribution
 {
@@ -66,6 +100,17 @@ class Distribution
     double max() const { return _count > 0.0 ? _max : 0.0; }
     double underflow() const { return _underflow; }
     double overflow() const { return _overflow; }
+
+    /**
+     * Streaming quantile estimates; weights are ignored (each call to
+     * sample() counts once toward the order statistics). The three
+     * independent estimators are clamped against each other so
+     * p50() <= p95() <= p99() holds unconditionally — a hard
+     * invariant reports and oracles may rely on.
+     */
+    double p50() const { return _p50.value(); }
+    double p95() const { return std::max(p50(), _p95.value()); }
+    double p99() const { return std::max(p95(), _p99.value()); }
 
     double bucketLo() const { return _lo; }
     double bucketHi() const { return _hi; }
@@ -92,6 +137,9 @@ class Distribution
     double _max = 0.0;
     double _underflow = 0.0;
     double _overflow = 0.0;
+    P2Quantile _p50{0.50};
+    P2Quantile _p95{0.95};
+    P2Quantile _p99{0.99};
 };
 
 /**

@@ -195,3 +195,25 @@ TEST(Config, ParseDoubleRejectsGarbageInsteadOfDefaultingToZero)
     EXPECT_PANIC((void)driver::parseDouble("1.5x", "--scale"),
                  "not a number");
 }
+
+TEST(Config, ParseBreakdownModeAcceptsKnownModes)
+{
+    EXPECT_EQ(driver::parseBreakdownMode("", "--breakdown"),
+              driver::BreakdownMode::Text);
+    EXPECT_EQ(driver::parseBreakdownMode("text", "--breakdown"),
+              driver::BreakdownMode::Text);
+    EXPECT_EQ(driver::parseBreakdownMode("json", "--breakdown"),
+              driver::BreakdownMode::Json);
+    EXPECT_EQ(driver::parseBreakdownMode("off", "--breakdown"),
+              driver::BreakdownMode::Off);
+}
+
+TEST(Config, ParseBreakdownModeRejectsGarbage)
+{
+    EXPECT_PANIC(
+        (void)driver::parseBreakdownMode("yaml", "--breakdown"),
+        "not a breakdown mode");
+    EXPECT_PANIC(
+        (void)driver::parseBreakdownMode("Text", "--breakdown"),
+        "not a breakdown mode");
+}

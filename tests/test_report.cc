@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the stats-JSON report surface and the comparison
+ * machinery behind tools/distda_stats: the report schema (including
+ * the offload-lifecycle breakdown and dropped_events), the breakdown
+ * conservation invariant across every workload under both Dist-DA
+ * models, and the statsdiff flatten/join/render pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/driver/runner.hh"
+#include "src/driver/statsdiff.hh"
+#include "src/offload/lifecycle.hh"
+#include "src/sim/json.hh"
+#include "src/workloads/workload.hh"
+
+using namespace distda;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+sim::JsonValue
+runToJson(const std::string &workload, driver::ArchModel model,
+          double scale, const std::string &tag)
+{
+    driver::RunConfig cfg;
+    cfg.model = model;
+    driver::RunOptions opts;
+    opts.scale = scale;
+    const std::string path =
+        testing::TempDir() + "report_" + tag + ".json";
+    opts.obs.statsJsonPath = path;
+    (void)driver::runWorkload(workload, cfg, opts);
+    return sim::parseJson(slurp(path), path.c_str());
+}
+
+} // namespace
+
+TEST(Report, StatsJsonCarriesSchemaWithBreakdown)
+{
+    setInformEnabled(false);
+    const sim::JsonValue doc =
+        runToJson("bfs", driver::ArchModel::DistDA_IO, 0.1, "schema");
+
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("workload").str, "bfs");
+    EXPECT_EQ(doc.at("config").str, "Dist-DA-IO");
+    ASSERT_TRUE(doc.at("metrics").isObject());
+    ASSERT_TRUE(doc.at("stats").isObject());
+    EXPECT_TRUE(doc.at("dropped_events").isNumber());
+    EXPECT_DOUBLE_EQ(doc.at("dropped_events").num, 0.0);
+
+    const sim::JsonValue &bd = doc.at("offload_breakdown");
+    ASSERT_TRUE(bd.isArray());
+    ASSERT_FALSE(bd.arr.empty());
+    for (const sim::JsonValue &row : bd.arr) {
+        EXPECT_TRUE(row.at("kernel").isString());
+        EXPECT_GT(row.at("invocations").num, 0.0);
+        const sim::JsonValue &phases = row.at("phases");
+        ASSERT_TRUE(phases.isObject());
+        ASSERT_EQ(phases.obj.size(), offload::kNumPhases);
+        for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+            EXPECT_EQ(phases.obj[p].first,
+                      offload::phaseName(
+                          static_cast<offload::Phase>(p)));
+        }
+        EXPECT_TRUE(row.at("e2e_ticks").isNumber());
+        EXPECT_TRUE(row.at("p50_ticks").isNumber());
+        EXPECT_TRUE(row.at("p95_ticks").isNumber());
+        EXPECT_TRUE(row.at("p99_ticks").isNumber());
+        EXPECT_TRUE(row.at("min_ticks").isNumber());
+        EXPECT_TRUE(row.at("max_ticks").isNumber());
+    }
+}
+
+TEST(Report, BreakdownConservesAcrossWorkloadsAndModels)
+{
+    setInformEnabled(false);
+    for (const std::string &w : workloads::workloadNames()) {
+        for (const driver::ArchModel model :
+             {driver::ArchModel::DistDA_IO,
+              driver::ArchModel::DistDA_F}) {
+            const sim::JsonValue doc = runToJson(
+                w, model, 0.1,
+                w + (model == driver::ArchModel::DistDA_IO ? "_io"
+                                                           : "_f"));
+            const sim::JsonValue &bd = doc.at("offload_breakdown");
+            ASSERT_TRUE(bd.isArray()) << w;
+            for (const sim::JsonValue &row : bd.arr) {
+                const std::string kernel = row.at("kernel").str;
+                double phase_sum = 0.0;
+                for (const auto &[name, v] : row.at("phases").obj) {
+                    EXPECT_GE(v.num, 0.0) << w << "/" << kernel
+                                          << " phase " << name;
+                    phase_sum += v.num;
+                }
+                // Conservation: phases account for every tick of
+                // end-to-end latency, exactly (sums of integer tick
+                // counts, no rounding involved at these magnitudes).
+                EXPECT_EQ(phase_sum, row.at("e2e_ticks").num)
+                    << w << "/" << kernel;
+                EXPECT_GT(row.at("invocations").num, 0.0)
+                    << w << "/" << kernel;
+                EXPECT_LE(row.at("p50_ticks").num,
+                          row.at("p95_ticks").num)
+                    << w << "/" << kernel;
+                EXPECT_LE(row.at("p95_ticks").num,
+                          row.at("p99_ticks").num)
+                    << w << "/" << kernel;
+                EXPECT_LE(row.at("min_ticks").num,
+                          row.at("max_ticks").num)
+                    << w << "/" << kernel;
+            }
+        }
+    }
+}
+
+TEST(StatsDiff, FlattensNumericLeavesInDocumentOrder)
+{
+    const sim::JsonValue doc = sim::parseJson(
+        R"({"a":1,"b":{"c":2.5,"d":[3,{"e":4}]},"ok":true,"s":"x"})",
+        "test");
+    // Strings are skipped; booleans flatten to 0/1.
+    const auto leaves = driver::flattenNumericLeaves(doc);
+    ASSERT_EQ(leaves.size(), 5u);
+    EXPECT_EQ(leaves[0].first, "a");
+    EXPECT_DOUBLE_EQ(leaves[0].second, 1.0);
+    EXPECT_EQ(leaves[1].first, "b.c");
+    EXPECT_EQ(leaves[2].first, "b.d[0]");
+    EXPECT_DOUBLE_EQ(leaves[2].second, 3.0);
+    EXPECT_EQ(leaves[3].first, "b.d[1].e");
+    EXPECT_EQ(leaves[4].first, "ok");
+    EXPECT_DOUBLE_EQ(leaves[4].second, 1.0);
+}
+
+TEST(StatsDiff, IdenticalDocumentsPass)
+{
+    const sim::JsonValue doc = sim::parseJson(
+        R"({"x":1,"y":{"z":[1,2,3]},"wall_ms":77.0})", "test");
+    driver::StatsDiffOptions opts;
+    opts.ignoreSubstrings = driver::defaultIgnoreSubstrings();
+    const driver::StatsDiff d = driver::diffReports(doc, doc, opts);
+    EXPECT_TRUE(d.pass());
+    EXPECT_EQ(d.changed, 0u);
+    EXPECT_EQ(d.onlyA, 0u);
+    EXPECT_EQ(d.onlyB, 0u);
+    // wall_ms is on the default ignore list.
+    EXPECT_EQ(d.compared, 4u);
+}
+
+TEST(StatsDiff, ThresholdGatesPercentChange)
+{
+    const sim::JsonValue a =
+        sim::parseJson(R"({"lat":100.0})", "test");
+    const sim::JsonValue b =
+        sim::parseJson(R"({"lat":104.0})", "test");
+
+    driver::StatsDiffOptions strict; // threshold 0: any change fails
+    driver::StatsDiff d = driver::diffReports(a, b, strict);
+    EXPECT_FALSE(d.pass());
+    EXPECT_EQ(d.changed, 1u);
+    EXPECT_EQ(d.failed, 1u);
+    ASSERT_EQ(d.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(d.rows[0].delta(), 4.0);
+    EXPECT_DOUBLE_EQ(d.rows[0].pct(), 4.0);
+
+    driver::StatsDiffOptions loose;
+    loose.thresholdPct = 5.0; // +4% is within a 5% band
+    EXPECT_TRUE(driver::diffReports(a, b, loose).pass());
+}
+
+TEST(StatsDiff, StructuralAndZeroBaselineChangesAlwaysFail)
+{
+    const sim::JsonValue a =
+        sim::parseJson(R"({"gone":1,"zero":0})", "test");
+    const sim::JsonValue b =
+        sim::parseJson(R"({"zero":3,"new":2})", "test");
+    driver::StatsDiffOptions opts;
+    opts.thresholdPct = 1e9; // even an absurd band cannot save these
+    const driver::StatsDiff d = driver::diffReports(a, b, opts);
+    EXPECT_FALSE(d.pass());
+    EXPECT_EQ(d.onlyA, 1u);
+    EXPECT_EQ(d.onlyB, 1u);
+    EXPECT_EQ(d.failed, 3u); // removed + added + zero-baseline
+    ASSERT_EQ(d.rows.size(), 3u);
+    EXPECT_TRUE(d.rows[1].zeroBaseline());
+    EXPECT_DOUBLE_EQ(d.rows[1].pct(), 0.0); // no finite percentage
+    EXPECT_EQ(d.rows[2].path, "new");       // B-only rows come last
+}
+
+TEST(StatsDiff, RendersEveryFormat)
+{
+    const sim::JsonValue a =
+        sim::parseJson(R"({"m":{"t":10.0},"u":1})", "test");
+    const sim::JsonValue b =
+        sim::parseJson(R"({"m":{"t":12.5},"u":1})", "test");
+    driver::StatsDiffOptions opts;
+    const driver::StatsDiff d = driver::diffReports(a, b, opts);
+
+    const std::string text = driver::renderDiff(d, opts, "A", "B");
+    EXPECT_NE(text.find("m.t"), std::string::npos);
+    EXPECT_NE(text.find("compared"), std::string::npos);
+
+    driver::StatsDiffOptions md = opts;
+    md.format = driver::DiffFormat::Markdown;
+    const std::string mark = driver::renderDiff(d, md, "A", "B");
+    EXPECT_NE(mark.find("| metric |"), std::string::npos);
+    EXPECT_NE(mark.find("|---"), std::string::npos);
+
+    driver::StatsDiffOptions csv = opts;
+    csv.format = driver::DiffFormat::Csv;
+    const std::string c = driver::renderDiff(d, csv, "A", "B");
+    EXPECT_NE(c.find("metric,"), std::string::npos);
+    EXPECT_NE(c.find("m.t,"), std::string::npos);
+
+    driver::StatsDiffOptions only = opts;
+    only.changedOnly = true;
+    const std::string ch = driver::renderDiff(d, only, "A", "B");
+    EXPECT_NE(ch.find("m.t"), std::string::npos);
+    EXPECT_EQ(ch.find("\nu "), std::string::npos); // unchanged hidden
+}

@@ -364,3 +364,132 @@ TEST(Trace, UnknownAndEmptyListsAreNoOps)
          i < static_cast<unsigned>(trace::Flag::NumFlags); ++i)
         EXPECT_FALSE(trace::enabled(static_cast<trace::Flag>(i)));
 }
+
+TEST(P2Quantile, ExactForSmallSamples)
+{
+    stats::P2Quantile q(0.5);
+    EXPECT_DOUBLE_EQ(q.value(), 0.0); // empty
+    q.add(5.0);
+    EXPECT_DOUBLE_EQ(q.value(), 5.0);
+    q.add(1.0);
+    q.add(3.0);
+    EXPECT_DOUBLE_EQ(q.value(), 3.0); // median of {1,3,5}
+    q.add(4.0);
+    q.add(2.0);
+    EXPECT_DOUBLE_EQ(q.value(), 3.0); // median of {1..5}
+    EXPECT_EQ(q.samples(), 5u);
+}
+
+TEST(P2Quantile, TracksLargeStreams)
+{
+    // Deterministic pseudo-shuffle of 1..10007 (7919 is coprime with
+    // 10007): exact quantiles are known, P2 must land within a few
+    // percent.
+    stats::P2Quantile p50(0.5);
+    stats::P2Quantile p95(0.95);
+    stats::P2Quantile p99(0.99);
+    const int n = 10007;
+    for (int i = 0; i < n; ++i) {
+        const double v =
+            static_cast<double>((static_cast<long long>(i) * 7919) %
+                                n) +
+            1.0;
+        p50.add(v);
+        p95.add(v);
+        p99.add(v);
+    }
+    EXPECT_NEAR(p50.value(), 0.50 * n, 0.03 * n);
+    EXPECT_NEAR(p95.value(), 0.95 * n, 0.03 * n);
+    EXPECT_NEAR(p99.value(), 0.99 * n, 0.03 * n);
+}
+
+TEST(P2Quantile, ResetClearsState)
+{
+    stats::P2Quantile q(0.9);
+    for (int i = 0; i < 100; ++i)
+        q.add(i);
+    q.reset();
+    EXPECT_EQ(q.samples(), 0u);
+    EXPECT_DOUBLE_EQ(q.value(), 0.0);
+    q.add(7.0);
+    EXPECT_DOUBLE_EQ(q.value(), 7.0);
+}
+
+TEST(Stats, DistributionQuantilesAreOrderedAndDumped)
+{
+    stats::Distribution d(0.0, 1000.0, 10);
+    for (int i = 1; i <= 1000; ++i)
+        d.sample(i);
+    // The ordering clamp is a hard invariant oracles rely on.
+    EXPECT_LE(d.p50(), d.p95());
+    EXPECT_LE(d.p95(), d.p99());
+    EXPECT_NEAR(d.p50(), 500.0, 50.0);
+    EXPECT_NEAR(d.p99(), 990.0, 30.0);
+
+    stats::Group g("t");
+    g.addDistribution("lat", 0.0, 1000.0, 10) = d;
+    const std::string text = g.jsonString();
+    EXPECT_NE(text.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(text.find("\"p95\":"), std::string::npos);
+    EXPECT_NE(text.find("\"p99\":"), std::string::npos);
+}
+
+TEST(Json, ParserRoundTripsWriterOutput)
+{
+    sim::JsonWriter w;
+    w.beginObject();
+    w.key("name").value("run \"x\"\n");
+    w.key("count").value(std::int64_t{42});
+    w.key("ratio").value(0.125);
+    w.key("ok").value(true);
+    w.key("items").beginArray();
+    w.value(std::uint64_t{1});
+    w.beginObject();
+    w.key("nested").value(-2.5);
+    w.endObject();
+    w.endArray();
+    w.endObject();
+
+    const sim::JsonValue doc = sim::parseJson(w.str(), "test");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("name").str, "run \"x\"\n");
+    EXPECT_DOUBLE_EQ(doc.at("count").num, 42.0);
+    EXPECT_DOUBLE_EQ(doc.at("ratio").num, 0.125);
+    EXPECT_TRUE(doc.at("ok").b);
+    ASSERT_TRUE(doc.at("items").isArray());
+    ASSERT_EQ(doc.at("items").arr.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc.at("items").arr[1].at("nested").num, -2.5);
+    // Member order is preserved for diff alignment.
+    EXPECT_EQ(doc.obj.front().first, "name");
+    EXPECT_EQ(doc.obj.back().first, "items");
+}
+
+TEST(Json, ParserAcceptsEscapesAndRejectsGarbage)
+{
+    sim::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(
+        sim::tryParseJson(R"({"s":"aA\t\\"})", v, err));
+    EXPECT_EQ(v.at("s").str, "aA\t\\");
+
+    const char *bad[] = {
+        "",          "{",         "[1,]",       "{\"a\":}",
+        "{\"a\" 1}", "tru",       "1 2",        "\"unterminated",
+        "{\"a\":1,}" /* trailing comma */,
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(sim::tryParseJson(text, v, err))
+            << "accepted: " << text;
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+TEST(Json, FindAndAtBehave)
+{
+    const sim::JsonValue doc =
+        sim::parseJson(R"({"a":1,"b":null})", "test");
+    EXPECT_NE(doc.find("a"), nullptr);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_TRUE(doc.at("b").isNull());
+    EXPECT_PANIC((void)doc.at("missing"), "missing");
+}

@@ -12,6 +12,7 @@
  *              [--buffer=<bytes>] [--channel=<elems>]
  *              [--verify[=warn|error|off]] [--verify-only]
  *              [--verify-json=<file>] [--analyze[=json]]
+ *              [--breakdown[=text|json|off]]
  *              [--timeline=<file>] [--stats-json=<file>]
  *              [--stats-interval=<ticks>] [--report-dir=<dir>]
  *              [--plan-dir=<dir>] [--plan-cache[=on|off]]
@@ -33,6 +34,16 @@
  * channel liveness, purity, interference; see DESIGN.md §6) per
  * kernel; --analyze=json emits one JSON document instead. The exit
  * status is nonzero iff any fact is Violated.
+ *
+ * --breakdown prints a Table-VI-style per-kernel offload-lifecycle
+ * phase table after every run: per-phase latency share (enqueue,
+ * decode, buffer-alloc, dispatch, execute, writeback, complete — the
+ * shares always sum to 100% by the conservation invariant) plus
+ * end-to-end mean/p50/p95/p99 per invocation. Under --csv the text
+ * table goes to stderr so CSV output stays byte-identical;
+ * --breakdown=json owns stdout — exactly one JSON document, pipeable
+ * to json.tool, with the human records on stderr — and refuses to
+ * combine with --csv.
  *
  * Observability (all off by default, zero overhead when off):
  * --timeline= writes a Chrome trace-event JSON timeline (open in
@@ -75,6 +86,7 @@
 
 #include "src/driver/config.hh"
 #include "src/driver/sweep.hh"
+#include "src/offload/lifecycle.hh"
 #include "src/sim/json.hh"
 #include "src/workloads/workload.hh"
 
@@ -134,39 +146,107 @@ printList()
 }
 
 void
-printHuman(const driver::Metrics &m)
+printHuman(std::FILE *out, const driver::Metrics &m)
 {
-    std::printf("== %s under %s ==\n", m.workload.c_str(),
-                m.config.c_str());
-    std::printf("  validated:        %s\n",
-                m.validated ? "yes" : "NO");
-    std::printf("  time:             %.3f us\n", m.timeNs / 1000.0);
-    std::printf("  energy:           %.3f uJ\n",
-                m.totalEnergyPj / 1e6);
-    std::printf("  instructions:     host %.0f, accel %.0f "
-                "(%.1f%% coverage)\n",
-                m.hostInsts, m.accelInsts, m.codeCoverage());
-    std::printf("  memory ops:       %.0f offloaded (%.2f%% dc), "
-                "%.0f host\n",
-                m.kernelMemOps, m.dataCoverage(), m.hostMemOps);
-    std::printf("  cache accesses:   %.0f\n", m.cacheAccesses);
-    std::printf("  data movement:    %.3f MB\n",
-                m.dataMovementBytes / 1e6);
-    std::printf("  NoC bytes:        ctrl %.0f, data %.0f, acc_ctrl "
-                "%.0f, acc_data %.0f\n",
-                m.nocCtrlBytes, m.nocDataBytes, m.nocAccCtrlBytes,
-                m.nocAccDataBytes);
-    std::printf("  accel traffic:    intra %.0f, D-A %.0f, A-A %.0f "
-                "bytes\n",
-                m.intraBytes, m.daBytes, m.aaBytes);
-    std::printf("  MMIO intrinsics:  %.0f (%.3f%% init overhead)\n",
-                m.mmioOps, m.initOverhead());
-    std::printf("  energy breakdown:");
+    std::fprintf(out, "== %s under %s ==\n", m.workload.c_str(),
+                 m.config.c_str());
+    std::fprintf(out, "  validated:        %s\n",
+                 m.validated ? "yes" : "NO");
+    std::fprintf(out, "  time:             %.3f us\n", m.timeNs / 1000.0);
+    std::fprintf(out, "  energy:           %.3f uJ\n",
+                 m.totalEnergyPj / 1e6);
+    std::fprintf(out, "  instructions:     host %.0f, accel %.0f "
+                 "(%.1f%% coverage)\n",
+                 m.hostInsts, m.accelInsts, m.codeCoverage());
+    std::fprintf(out, "  memory ops:       %.0f offloaded (%.2f%% dc), "
+                 "%.0f host\n",
+                 m.kernelMemOps, m.dataCoverage(), m.hostMemOps);
+    std::fprintf(out, "  cache accesses:   %.0f\n", m.cacheAccesses);
+    std::fprintf(out, "  data movement:    %.3f MB\n",
+                 m.dataMovementBytes / 1e6);
+    std::fprintf(out, "  NoC bytes:        ctrl %.0f, data %.0f, acc_ctrl "
+                 "%.0f, acc_data %.0f\n",
+                 m.nocCtrlBytes, m.nocDataBytes, m.nocAccCtrlBytes,
+                 m.nocAccDataBytes);
+    std::fprintf(out, "  accel traffic:    intra %.0f, D-A %.0f, A-A %.0f "
+                 "bytes\n",
+                 m.intraBytes, m.daBytes, m.aaBytes);
+    std::fprintf(out, "  MMIO intrinsics:  %.0f (%.3f%% init overhead)\n",
+                 m.mmioOps, m.initOverhead());
+    std::fprintf(out, "  energy breakdown:");
     for (const auto &[name, pj] : m.energyByComponent) {
         if (pj > 0.0)
-            std::printf(" %s=%.1fuJ", name.c_str(), pj / 1e6);
+            std::fprintf(out, " %s=%.1fuJ", name.c_str(), pj / 1e6);
     }
-    std::printf("\n");
+    std::fprintf(out, "\n");
+}
+
+void
+printBreakdownText(std::FILE *out, const driver::Metrics &m)
+{
+    std::fprintf(out, "== offload breakdown: %s under %s ==\n",
+                 m.workload.c_str(), m.config.c_str());
+    if (m.offloadBreakdown.empty()) {
+        std::fprintf(out, "  (no offload invocations recorded)\n");
+        return;
+    }
+    std::fprintf(out, "  %-18s %8s", "kernel", "invokes");
+    for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+        std::fprintf(out, " %11s%%",
+                     offload::phaseName(
+                         static_cast<offload::Phase>(p)));
+    }
+    std::fprintf(out, " %12s %10s %10s %10s\n", "e2e_mean_ns",
+                 "p50_ns", "p95_ns", "p99_ns");
+    for (const driver::OffloadPhaseBreakdown &row :
+         m.offloadBreakdown) {
+        std::fprintf(out, "  %-18s %8.0f", row.kernel.c_str(),
+                     row.invocations);
+        for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+            const double share =
+                row.e2eTicks > 0.0
+                    ? 100.0 * row.phaseTicks[p] / row.e2eTicks
+                    : 0.0;
+            std::fprintf(out, " %12.2f", share);
+        }
+        const double mean_ns =
+            row.invocations > 0.0
+                ? row.e2eTicks / row.invocations / 1000.0
+                : 0.0;
+        std::fprintf(out, " %12.3f %10.3f %10.3f %10.3f\n", mean_ns,
+                     row.p50 / 1000.0, row.p95 / 1000.0,
+                     row.p99 / 1000.0);
+    }
+}
+
+void
+breakdownJson(sim::JsonWriter &w, const driver::Metrics &m)
+{
+    w.beginObject();
+    w.key("workload").value(m.workload);
+    w.key("config").value(m.config);
+    w.key("kernels").beginArray();
+    for (const driver::OffloadPhaseBreakdown &row :
+         m.offloadBreakdown) {
+        w.beginObject();
+        w.key("kernel").value(row.kernel);
+        w.key("invocations").value(row.invocations);
+        w.key("phases").beginObject();
+        for (std::size_t p = 0; p < offload::kNumPhases; ++p) {
+            w.key(offload::phaseName(static_cast<offload::Phase>(p)))
+                .value(row.phaseTicks[p]);
+        }
+        w.endObject();
+        w.key("e2e_ticks").value(row.e2eTicks);
+        w.key("p50_ticks").value(row.p50);
+        w.key("p95_ticks").value(row.p95);
+        w.key("p99_ticks").value(row.p99);
+        w.key("min_ticks").value(row.minTicks);
+        w.key("max_ticks").value(row.maxTicks);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
 }
 
 } // namespace
@@ -180,6 +260,7 @@ main(int argc, char **argv)
     driver::RunOptions opts;
     driver::SweepOptions sweep_opts;
     bool csv = false;
+    driver::BreakdownMode breakdown = driver::BreakdownMode::Off;
     bool verify_only = false;
     std::string verify_json;
     bool analyze = false;
@@ -207,6 +288,11 @@ main(int argc, char **argv)
             cfg.accelGHz = driver::parseDouble(arg.substr(6), "--ghz");
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--breakdown") {
+            breakdown = driver::BreakdownMode::Text;
+        } else if (arg.rfind("--breakdown=", 0) == 0) {
+            breakdown = driver::parseBreakdownMode(arg.substr(12),
+                                                   "--breakdown");
         } else if (arg == "--no-combining") {
             cfg.disableCombining = true;
         } else if (arg == "--no-retention") {
@@ -254,6 +340,11 @@ main(int argc, char **argv)
     if (!cfg.planDir.empty() &&
         ::mkdir(cfg.planDir.c_str(), 0755) != 0 && errno != EEXIST)
         fatal("cannot create plan dir '%s'", cfg.planDir.c_str());
+
+    // JSON breakdown owns stdout; the CSV table would interleave.
+    if (breakdown == driver::BreakdownMode::Json && csv)
+        fatal("--breakdown=json writes stdout; combine with --csv is "
+              "ambiguous (use --breakdown for a stderr table)");
 
     setInformEnabled(false);
     std::vector<std::string> workload_names;
@@ -371,7 +462,11 @@ main(int argc, char **argv)
     const auto results = driver::runSweep(jobs, sweep_opts);
 
     // Consolidated report in deterministic job order: one CSV header
-    // then data rows, or the human-readable records.
+    // then data rows, or the human-readable records. --breakdown=json
+    // owns stdout (one parseable document, pipeable to json.tool), so
+    // the human records ride stderr there.
+    const bool human_to_stderr =
+        breakdown == driver::BreakdownMode::Json;
     if (csv)
         std::printf("%s\n", driver::csvHeader().c_str());
     for (const auto &r : results) {
@@ -380,7 +475,27 @@ main(int argc, char **argv)
         if (csv)
             std::printf("%s\n", driver::csvRow(r.metrics).c_str());
         else
-            printHuman(r.metrics);
+            printHuman(human_to_stderr ? stderr : stdout, r.metrics);
+    }
+    if (breakdown == driver::BreakdownMode::Text) {
+        // Under --csv the table rides stderr so machine-read stdout
+        // (and the golden sweep CSV) stays byte-identical.
+        std::FILE *out = csv ? stderr : stdout;
+        for (const auto &r : results) {
+            if (r.ok)
+                printBreakdownText(out, r.metrics);
+        }
+    } else if (breakdown == driver::BreakdownMode::Json) {
+        sim::JsonWriter jw;
+        jw.beginObject();
+        jw.key("breakdown").beginArray();
+        for (const auto &r : results) {
+            if (r.ok)
+                breakdownJson(jw, r.metrics);
+        }
+        jw.endArray();
+        jw.endObject();
+        std::printf("%s\n", jw.str().c_str());
     }
     if (!driver::allOk(results))
         driver::dieOnFailures(results);
