@@ -17,16 +17,21 @@
 #      to a --plan-dir, validate each artifact with distda_plan,
 #      re-run loading from the artifacts and from a disabled cache —
 #      the golden quick-sweep CSV must stay byte-identical both ways
-#   8. quick bench smoke through the sweep engine
-#   9. Release build + perf-regression gate (bench/perf_baseline vs
+#   8. offload-service smoke: distda_serve on a Unix socket under a
+#      1k-request mixed distda_load replay (zero failures, >=90%
+#      plan-cache hit rate), raw-socket robustness pokes, a served
+#      probe report diffed clean against a direct --stats-json run,
+#      and a SIGINT drain under load that must exit 0
+#   9. quick bench smoke through the sweep engine
+#  10. Release build + perf-regression gate (bench/perf_baseline vs
 #      the most recent committed BENCH_*.json, via
 #      scripts/perf_check.sh)
-#  10. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
+#  11. ASan+UBSan and TSan test-suite runs, plus a TSan parallel
 #      sweep smoke
-#  11. clang-tidy (when available): strict over src/verify + src/sim
-#      + src/compiler + src/offload (warnings are errors), advisory
-#      elsewhere
-#  12. optionally ($RUN_BENCH=1) regenerate every table/figure
+#  12. clang-tidy (when available): strict over src/verify + src/sim
+#      + src/compiler + src/offload + src/serve (warnings are
+#      errors), advisory elsewhere
+#  13. optionally ($RUN_BENCH=1) regenerate every table/figure
 set -e
 cd "$(dirname "$0")/.."
 
@@ -185,6 +190,102 @@ cmp tests/golden/quick_sweep.csv "$BUILD/sweep-planload.csv"
     >"$BUILD/sweep-nocache.csv" 2>/dev/null
 cmp tests/golden/quick_sweep.csv "$BUILD/sweep-nocache.csv"
 
+echo "===== offload service smoke (distda_serve + distda_load)"
+SOCK="$BUILD/serve.sock"
+rm -f "$SOCK"
+"$BUILD"/tools/distda_serve --socket="$SOCK" --jobs="$JOBS" \
+    --max-request-bytes=65536 >"$BUILD/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -S "$SOCK" ] || { cat "$BUILD/serve.log"; exit 1; }
+
+# 1k-request mixed replay over concurrent connections: zero failures
+# allowed, and >=90% of plan lookups must hit the daemon-wide cache
+# (4 fingerprints compile once each; everything else reuses them).
+"$BUILD"/tools/distda_load --socket="$SOCK" --requests=1000 \
+    --connections=8 --workloads=fdt,bfs \
+    --configs=Dist-DA-IO,Dist-DA-F --scale=0.25 --min-hit-rate=0.9
+
+# Robustness pokes with a raw socket: malformed JSON, an unknown
+# workload and an oversized line each earn an error reply; a client
+# that hangs up without reading its reply is survived. The daemon
+# must keep serving throughout.
+python3 - "$SOCK" <<'EOF'
+import json
+import socket
+import sys
+
+def rpc(path, payload, expect_reply=True):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    try:
+        s.sendall(payload)
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # oversize: server replied and closed mid-send
+    if not expect_reply:
+        s.close()
+        return None
+    data = b""
+    while not data.endswith(b"\n"):
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    s.close()
+    return json.loads(data)
+
+path = sys.argv[1]
+ok_line = b'{"workload":"fdt","config":"Dist-DA-IO","scale":0.25}\n'
+r = rpc(path, b'{"workload": \n')
+assert r["ok"] is False and r["kind"] == "parse", r
+assert "offset" in r["error"], r
+r = rpc(path, b'{"workload":"nope","config":"Dist-DA-IO"}\n')
+assert r["ok"] is False and r["kind"] == "request", r
+r = rpc(path, b"x" * (1 << 20) + b"\n")
+assert r["ok"] is False and r["kind"] == "oversize", r
+rpc(path, ok_line, expect_reply=False)  # rude hang-up
+r = rpc(path, ok_line)
+assert r["ok"] is True, r
+print("robustness pokes OK")
+EOF
+
+# Served vs direct: the report a probe request streams back must diff
+# clean against a direct --stats-json run of the same offload.
+"$BUILD"/tools/distda_load --socket="$SOCK" --requests=1 \
+    --connections=1 --workloads=bfs --configs=Dist-DA-IO --scale=0.25 \
+    --probe --report-out="$BUILD/served-report.json" >/dev/null
+"$BUILD"/tools/distda_run --workload=bfs --config=Dist-DA-IO --quick \
+    --stats-json="$BUILD/direct-report.json" >/dev/null 2>&1
+"$BUILD"/tools/distda_stats diff "$BUILD/direct-report.json" \
+    "$BUILD/served-report.json" --changed-only
+
+# SIGINT under load: the daemon stops accepting, finishes in-flight
+# requests, prints its summary and exits 0; the socket is unlinked.
+"$BUILD"/tools/distda_load --socket="$SOCK" --requests=1000000 \
+    --connections=4 --workloads=fdt --configs=Dist-DA-IO --scale=0.25 \
+    --allow-errors --quiet >"$BUILD/load-drain.out" 2>&1 &
+LOAD_PID=$!
+sleep 2
+kill -INT "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+[ "$SERVE_RC" -eq 0 ] || {
+    echo "daemon exited $SERVE_RC after SIGINT"
+    cat "$BUILD/serve.log"
+    exit 1
+}
+wait "$LOAD_PID" || true
+[ ! -S "$SOCK" ] || { echo "socket not unlinked on drain"; exit 1; }
+grep -q "served=" "$BUILD/serve.log" || {
+    echo "daemon summary missing"
+    cat "$BUILD/serve.log"
+    exit 1
+}
+
 echo "===== quick bench smoke (--quick --jobs=$JOBS)"
 "$BUILD"/bench/fig11_performance --quick --jobs="$JOBS" >/dev/null
 "$BUILD"/bench/table06_offload_characteristics --quick \
@@ -220,14 +321,14 @@ echo "===== TSan parallel sweep smoke"
 
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    echo "===== clang-tidy (strict: src/verify + src/sim + src/compiler + src/offload)"
+    echo "===== clang-tidy (strict: src/verify + src/sim + src/compiler + src/offload + src/serve)"
     git ls-files 'src/verify/*.cc' 'src/sim/*.cc' 'src/compiler/*.cc' \
-        'src/offload/*.cc' |
+        'src/offload/*.cc' 'src/serve/*.cc' |
         xargs clang-tidy -p "$BUILD" --quiet --warnings-as-errors='*'
     echo "===== clang-tidy (advisory: remaining sources)"
     git ls-files 'src/*.cc' 'tools/*.cc' |
         grep -v -e '^src/verify/' -e '^src/sim/' -e '^src/compiler/' \
-            -e '^src/offload/' |
+            -e '^src/offload/' -e '^src/serve/' |
         xargs clang-tidy -p "$BUILD" --quiet
 else
     echo "===== clang-tidy not installed; skipping lint"

@@ -104,6 +104,7 @@ PlanCache::stats() const
     std::lock_guard<std::mutex> lk(_mu);
     Stats s = _stats;
     s.entries = _entries.size();
+    s.capacity = _capacity;
     return s;
 }
 
@@ -120,6 +121,12 @@ void
 PlanCache::setEnabled(bool enabled)
 {
     std::lock_guard<std::mutex> lk(_mu);
+    if (_enabled && !enabled) {
+        // Disable releases the plans (see the header): a disabled
+        // long-lived server must not keep a hidden warm set alive.
+        _entries.clear();
+        _order.clear();
+    }
     _enabled = enabled;
 }
 
@@ -131,11 +138,27 @@ PlanCache::enabled() const
 }
 
 void
+PlanCache::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    _capacity = capacity > 0 ? capacity : 1;
+    evictLocked();
+}
+
+std::size_t
+PlanCache::capacity() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _capacity;
+}
+
+void
 PlanCache::evictLocked()
 {
-    while (_entries.size() > maxEntries && !_order.empty()) {
+    while (_entries.size() > _capacity && !_order.empty()) {
         _entries.erase(_order.front());
         _order.pop_front();
+        ++_stats.evictions;
     }
 }
 

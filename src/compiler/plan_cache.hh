@@ -50,9 +50,19 @@ class PlanCache
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        std::uint64_t evictions = 0; ///< entries dropped at capacity
         double compileMs = 0.0; ///< total wall time spent compiling
         double savedMs = 0.0;   ///< total wall time hits avoided
         std::size_t entries = 0;
+        std::size_t capacity = 0; ///< current maximum entry count
+
+        double
+        hitRate() const
+        {
+            const double total =
+                static_cast<double>(hits) + static_cast<double>(misses);
+            return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+        }
     };
 
     /** The process-wide instance every subsystem shares. */
@@ -83,9 +93,32 @@ class PlanCache
     /** Drop all entries and reset counters (tests). */
     void clear();
 
-    /** Toggle caching (--plan-cache=off); enabled by default. */
+    /**
+     * Toggle caching (--plan-cache=off); enabled by default.
+     *
+     * Disabling FLUSHES every entry. The cache can live for the whole
+     * process (distda_serve runs for days), so "off" must mean "not
+     * holding plan memory", not "silently retaining a shadow copy":
+     * a server operator disabling the cache expects its footprint to
+     * drop to zero, and a later re-enable starts cold — the first
+     * lookup per fingerprint recompiles and re-inserts. Cumulative
+     * hit/miss/eviction counters survive the flush (only clear()
+     * resets them). Re-enabling an enabled cache, or disabling a
+     * disabled one, is a no-op.
+     */
     void setEnabled(bool enabled);
     bool enabled() const;
+
+    /**
+     * FIFO capacity bound (default 4096): long fuzz campaigns and
+     * multi-tenant serve traffic compile an unbounded stream of
+     * distinct kernels, and the cache must not grow with them.
+     * Holders keep evicted plans alive via their shared_ptr. Values
+     * < 1 clamp to 1; shrinking below the current entry count evicts
+     * oldest-first immediately (counted in Stats::evictions).
+     */
+    void setCapacity(std::size_t capacity);
+    std::size_t capacity() const;
 
   private:
     struct Entry
@@ -94,12 +127,7 @@ class PlanCache
         double compileMs = 0.0;
     };
 
-    /**
-     * FIFO capacity bound: long fuzz campaigns compile an unbounded
-     * stream of distinct kernels, and the cache must not grow with
-     * them. Holders keep evicted plans alive via their shared_ptr.
-     */
-    static constexpr std::size_t maxEntries = 4096;
+    static constexpr std::size_t kDefaultCapacity = 4096;
 
     void evictLocked();
 
@@ -107,6 +135,7 @@ class PlanCache
     std::unordered_map<std::string, Entry> _entries;
     std::deque<std::string> _order; ///< insertion order for eviction
     Stats _stats;
+    std::size_t _capacity = kDefaultCapacity;
     bool _enabled = true;
 };
 

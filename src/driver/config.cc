@@ -68,6 +68,28 @@ archModelName(ArchModel m)
     }
 }
 
+const std::vector<ArchModel> &
+allArchModels()
+{
+    static const std::vector<ArchModel> models = {
+        ArchModel::OoO,          ArchModel::MonoCA,
+        ArchModel::MonoDA_IO,    ArchModel::MonoDA_F,
+        ArchModel::DistDA_IO,    ArchModel::DistDA_F,
+        ArchModel::DistDA_IO_SW, ArchModel::DistDA_F_A,
+    };
+    return models;
+}
+
+ArchModel
+parseArchModel(const std::string &name)
+{
+    for (ArchModel m : allArchModels()) {
+        if (name == archModelName(m))
+            return m;
+    }
+    fatal("unknown config '%s' (try --list)", name.c_str());
+}
+
 std::vector<ArchModel>
 headlineModels()
 {

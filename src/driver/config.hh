@@ -40,6 +40,16 @@ enum class ArchModel
 
 const char *archModelName(ArchModel m);
 
+/** Every ArchModel, in --list order (headline six + Fig 14 variants). */
+const std::vector<ArchModel> &allArchModels();
+
+/**
+ * Inverse of archModelName(); fatal (capturable) on an unknown name,
+ * so a serve request naming a bogus config turns into an error reply
+ * under ScopedFailureCapture rather than killing the daemon.
+ */
+ArchModel parseArchModel(const std::string &name);
+
 /**
  * Strict numeric parsing for CLI flag values. Unlike atoi/atof these
  * are hard errors on empty strings, non-numeric input, trailing

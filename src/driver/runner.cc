@@ -68,13 +68,24 @@ runWorkload(const std::string &workload, const RunConfig &config,
         }
         if (!opts.obs.timelinePath.empty())
             probe->writeChromeTrace(opts.obs.timelinePath);
+    }
+    if (probe || opts.obs.reportOut) {
+        // The probe implies invocation profiles were recorded, so the
+        // analysis section rides along for free; a report requested
+        // without a probe (serve fast path) omits it.
+        std::vector<verify::FactStore> facts;
+        const std::vector<verify::FactStore> *facts_ptr = nullptr;
+        if (probe) {
+            facts = ctx.analyzeAll();
+            facts_ptr = &facts;
+        }
         if (!opts.obs.statsJsonPath.empty()) {
-            // The probe implies invocation profiles were recorded, so
-            // the analysis section rides along for free.
-            const std::vector<verify::FactStore> facts =
-                ctx.analyzeAll();
             writeRunReport(opts.obs.statsJsonPath, m, sys, probe.get(),
-                           &facts);
+                           facts_ptr);
+        }
+        if (opts.obs.reportOut) {
+            *opts.obs.reportOut =
+                buildRunReport(m, sys, probe.get(), facts_ptr);
         }
     }
     return m;

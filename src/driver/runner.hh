@@ -37,9 +37,27 @@ struct ObsOptions
     /** Counter-sampling coalescing interval (--stats-interval). */
     sim::Tick statsIntervalTicks = 1'000'000;
 
+    /**
+     * Build the probe even with no file outputs requested. The serve
+     * daemon runs with this on when a request asks for a full report:
+     * the probe's distributions/timeline counters (and the analysis
+     * facts that ride along) then match a direct `--stats-json` run
+     * section-for-section, without writing any file.
+     */
+    bool forceProbe = false;
+
+    /**
+     * When non-null, receives the complete run-report JSON document
+     * (exactly what --stats-json would have written) after the run.
+     * Independent of statsJsonPath; used by in-process consumers that
+     * stream the report somewhere other than a file.
+     */
+    std::string *reportOut = nullptr;
+
     bool enabled() const
     {
-        return !timelinePath.empty() || !statsJsonPath.empty();
+        return forceProbe || !timelinePath.empty() ||
+               !statsJsonPath.empty();
     }
 };
 

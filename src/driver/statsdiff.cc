@@ -21,9 +21,12 @@ std::vector<std::string>
 defaultIgnoreSubstrings()
 {
     // Wall-clock and machine-shape leaves: legitimate runs differ in
-    // these even when the simulation is bit-identical.
+    // these even when the simulation is bit-identical. plan_cache
+    // hit/miss counts depend on process-wide cache warmth (a served
+    // request against a warm daemon hits where a one-shot run
+    // misses), not on what was simulated.
     return {"wall_ms", "compile_ms", "saved", "sim_rate",
-            "hardware_threads"};
+            "hardware_threads", "plan_cache"};
 }
 
 namespace

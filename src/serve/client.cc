@@ -1,0 +1,187 @@
+#include "src/serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/sim/logging.hh"
+
+namespace distda::serve
+{
+
+namespace
+{
+
+std::string
+errnoMessage(const char *what)
+{
+    return strfmt("%s: %s", what, std::strerror(errno));
+}
+
+} // namespace
+
+bool
+ServeClient::connectUnix(const std::string &path, std::string &err)
+{
+    disconnect();
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return false;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = errnoMessage("socket");
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = errnoMessage(("connect " + path).c_str());
+        ::close(fd);
+        return false;
+    }
+    _fd = fd;
+    _buf.clear();
+    return true;
+}
+
+bool
+ServeClient::connectTcp(const std::string &host, int port,
+                        std::string &err)
+{
+    disconnect();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = errnoMessage("socket");
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const std::string target = host.empty() ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+        err = "bad address: " + target;
+        ::close(fd);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = errnoMessage(
+            strfmt("connect %s:%d", target.c_str(), port).c_str());
+        ::close(fd);
+        return false;
+    }
+    _fd = fd;
+    _buf.clear();
+    return true;
+}
+
+void
+ServeClient::disconnect()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _buf.clear();
+}
+
+bool
+ServeClient::sendLine(const std::string &line, std::string &err)
+{
+    if (_fd < 0) {
+        err = "not connected";
+        return false;
+    }
+    std::string payload = line;
+    payload += '\n';
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        // MSG_NOSIGNAL: a server that closed mid-send must surface as
+        // EPIPE, not as a process-killing SIGPIPE.
+        const ssize_t n =
+            ::send(_fd, payload.data() + off, payload.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            err = errnoMessage("send");
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServeClient::recvLine(std::string &line, std::string &err,
+                      int timeout_ms)
+{
+    if (_fd < 0) {
+        err = "not connected";
+        return false;
+    }
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           timeout_ms < 0 ? 0 : timeout_ms);
+    while (true) {
+        const std::size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(_buf, 0, nl);
+            _buf.erase(0, nl + 1);
+            return true;
+        }
+        if (timeout_ms >= 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            if (left <= 0) {
+                err = "timed out waiting for response";
+                return false;
+            }
+            pollfd pfd{_fd, POLLIN, 0};
+            const int pr =
+                ::poll(&pfd, 1, static_cast<int>(left));
+            if (pr < 0 && errno != EINTR) {
+                err = errnoMessage("poll");
+                return false;
+            }
+            if (pr <= 0)
+                continue;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            err = errnoMessage("recv");
+            return false;
+        }
+        if (n == 0) {
+            err = "connection closed by server";
+            return false;
+        }
+        _buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+ServeClient::request(const std::string &line, std::string &response,
+                     std::string &err, int timeout_ms)
+{
+    return sendLine(line, err) && recvLine(response, err, timeout_ms);
+}
+
+} // namespace distda::serve

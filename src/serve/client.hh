@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal blocking client for the offload service: connect to a Unix
+ * or loopback-TCP daemon, send newline-delimited request lines and
+ * read newline-delimited responses. Used by tools/distda_load, the
+ * serve tests, and anything else that wants to poke the daemon
+ * in-process. All methods report failures through an out-parameter
+ * message instead of fatal(): a dead or misbehaving server must never
+ * take the client process down.
+ */
+
+#ifndef DISTDA_SERVE_CLIENT_HH
+#define DISTDA_SERVE_CLIENT_HH
+
+#include <string>
+
+namespace distda::serve
+{
+
+/** One blocking connection to a serve daemon. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient() { disconnect(); }
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect to a Unix-domain socket at @p path. */
+    bool connectUnix(const std::string &path, std::string &err);
+
+    /** Connect to TCP @p host:@p port (host empty = 127.0.0.1). */
+    bool connectTcp(const std::string &host, int port, std::string &err);
+
+    bool connected() const { return _fd >= 0; }
+    void disconnect();
+
+    /** Send one request line (newline appended). */
+    bool sendLine(const std::string &line, std::string &err);
+
+    /**
+     * Read one response line (newline stripped). @p timeout_ms < 0
+     * blocks indefinitely; on timeout, EOF or error returns false
+     * with a message.
+     */
+    bool recvLine(std::string &line, std::string &err,
+                  int timeout_ms = -1);
+
+    /** sendLine + recvLine in one step. */
+    bool request(const std::string &line, std::string &response,
+                 std::string &err, int timeout_ms = -1);
+
+    /** Raw fd for tests that want to misbehave on purpose. */
+    int fd() const { return _fd; }
+
+  private:
+    int _fd = -1;
+    std::string _buf; ///< bytes past the last returned line
+};
+
+} // namespace distda::serve
+
+#endif // DISTDA_SERVE_CLIENT_HH

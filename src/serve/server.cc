@@ -1,0 +1,471 @@
+#include "src/serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/driver/pool.hh"
+#include "src/driver/runner.hh"
+#include "src/driver/sweep.hh"
+#include "src/sim/logging.hh"
+#include "src/workloads/workload.hh"
+
+namespace distda::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Poll slice so blocked reads notice a drain within ~100 ms. */
+constexpr int kPollSliceMs = 100;
+
+/** The one server signal handlers talk to (write-only wake pipe). */
+std::atomic<int> g_signalWakeFd{-1};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    // Async-signal-safe: one byte into the wake pipe; the accept
+    // thread turns it into an orderly drain.
+    const int fd = g_signalWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+} // namespace
+
+Server::Server(const ServeOptions &opts) : _opts(opts)
+{
+    if (_opts.backlog < 1)
+        _opts.backlog = 1;
+    if (_opts.maxConnections < 0)
+        _opts.maxConnections = 0;
+    if (_opts.requestTimeoutMs < 1)
+        _opts.requestTimeoutMs = 1;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    DISTDA_ASSERT(!_started, "serve: start() called twice");
+    _started = true;
+
+    if (::pipe(_wakePipe) != 0)
+        fatal("serve: pipe: %s", std::strerror(errno));
+
+    if (!_opts.socketPath.empty()) {
+        sockaddr_un addr{};
+        if (_opts.socketPath.size() >= sizeof(addr.sun_path)) {
+            fatal("serve: socket path too long: %s",
+                  _opts.socketPath.c_str());
+        }
+        _listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (_listenFd < 0)
+            fatal("serve: socket: %s", std::strerror(errno));
+        // A stale socket file from a crashed daemon would fail bind;
+        // a live one is a real conflict, surfaced by connect().
+        ::unlink(_opts.socketPath.c_str());
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, _opts.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(_listenFd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            fatal("serve: bind %s: %s", _opts.socketPath.c_str(),
+                  std::strerror(errno));
+        }
+    } else if (_opts.tcpPort >= 0) {
+        _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (_listenFd < 0)
+            fatal("serve: socket: %s", std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(_opts.tcpPort));
+        if (::bind(_listenFd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            fatal("serve: bind 127.0.0.1:%d: %s", _opts.tcpPort,
+                  std::strerror(errno));
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(_listenFd,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0) {
+            _port = static_cast<int>(ntohs(bound.sin_port));
+        }
+    } else {
+        fatal("serve: no listen address (need socketPath or tcpPort)");
+    }
+
+    if (::listen(_listenFd, _opts.backlog) != 0)
+        fatal("serve: listen: %s", std::strerror(errno));
+
+    const int workers =
+        _opts.jobs > 0 ? _opts.jobs : driver::defaultJobCount();
+    _pool = std::make_unique<driver::ThreadPool>(workers);
+    _acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    while (!_stopping.load(std::memory_order_acquire)) {
+        pollfd fds[2] = {
+            {_listenFd, POLLIN, 0},
+            {_wakePipe[0], POLLIN, 0},
+        };
+        const int pr = ::poll(fds, 2, -1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: accept poll: %s", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents & POLLIN)
+            break; // stop() or a signal: begin the drain
+        if (!(fds[0].revents & POLLIN))
+            continue;
+
+        const int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno != EINTR && errno != ECONNABORTED)
+                warn("serve: accept: %s", std::strerror(errno));
+            continue;
+        }
+        if (_activeConns.load(std::memory_order_acquire) >=
+            _opts.maxConnections) {
+            // Bounded admission: overload turns into an immediate,
+            // explicit rejection the client can retry against.
+            _busyRejected.fetch_add(1, std::memory_order_relaxed);
+            sendLine(fd, buildErrorResponse(
+                             0, "busy",
+                             strfmt("server at connection limit (%d)",
+                                    _opts.maxConnections)));
+            ::close(fd);
+            continue;
+        }
+        _accepted.fetch_add(1, std::memory_order_relaxed);
+        _activeConns.fetch_add(1, std::memory_order_acq_rel);
+        // A reader thread per connection is cheap (blocked on poll
+        // between requests); the simulation work itself is scheduled
+        // on the shared pool, so idle connections never starve active
+        // ones and `jobs` bounds concurrent runs, not connections.
+        std::lock_guard<std::mutex> lk(_connMu);
+        _connThreads.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+    requestStop();
+}
+
+Server::ReadStatus
+Server::readRequestLine(Conn &conn, std::string &line)
+{
+    Clock::time_point first_byte{};
+    bool mid_request = !conn.buf.empty();
+    if (mid_request)
+        first_byte = Clock::now();
+    while (true) {
+        const std::size_t nl = conn.buf.find('\n');
+        if (nl != std::string::npos) {
+            // A complete line over the limit is as oversized as one
+            // still streaming in.
+            if (nl > _opts.maxRequestBytes)
+                return ReadStatus::Oversize;
+            line.assign(conn.buf, 0, nl);
+            conn.buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return ReadStatus::Line;
+        }
+        if (conn.buf.size() > _opts.maxRequestBytes)
+            return ReadStatus::Oversize;
+        if (_stopping.load(std::memory_order_acquire))
+            return ReadStatus::Stopped;
+        if (mid_request &&
+            msSince(first_byte) >
+                static_cast<double>(_opts.requestTimeoutMs))
+            return ReadStatus::Timeout;
+
+        pollfd pfd{conn.fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, kPollSliceMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Eof;
+        }
+        if (pr == 0)
+            continue; // slice expired; re-check stop/timeout
+        char chunk[4096];
+        const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Eof;
+        }
+        if (n == 0)
+            return ReadStatus::Eof;
+        if (!mid_request) {
+            mid_request = true;
+            first_byte = Clock::now();
+        }
+        conn.buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+Server::processRequest(const std::string &line)
+{
+    ServeRequest req;
+    std::string err;
+    if (!parseServeRequest(line, req, err)) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        return buildErrorResponse(req.id, "parse", err);
+    }
+    if (!workloads::hasWorkload(req.workload)) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        return buildErrorResponse(
+            req.id, "request",
+            "unknown workload '" + req.workload + "'");
+    }
+    if (req.scale > _opts.maxScale) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        return buildErrorResponse(
+            req.id, "request",
+            strfmt("scale %g exceeds server limit %g", req.scale,
+                   _opts.maxScale));
+    }
+
+    std::string report;
+    driver::RunOptions run_opts;
+    run_opts.scale = req.scale;
+    run_opts.obs.reportOut = &report;
+    run_opts.obs.forceProbe = req.probe;
+
+    driver::Metrics metrics;
+    const auto t0 = Clock::now();
+    try {
+        // Same isolation as a sweep job: a fatal()/panic() inside the
+        // simulation fails this request, not the daemon.
+        ScopedFailureCapture capture;
+        metrics =
+            driver::runWorkload(req.workload, req.config, run_opts);
+    } catch (const SimFailure &e) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        return buildErrorResponse(req.id, "run", e.what());
+    } catch (const std::exception &e) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        return buildErrorResponse(req.id, "run", e.what());
+    }
+    const double run_ms = msSince(t0);
+
+    _served.fetch_add(1, std::memory_order_relaxed);
+    return buildRunResponse(req, metrics, report, run_ms,
+                            compiler::PlanCache::process().stats());
+}
+
+std::string
+Server::processOnPool(const std::string &line)
+{
+    // The reader thread parks here while a pool worker runs the
+    // request; everything lives on this stack frame, and the wait
+    // below keeps it alive until the worker is done with it.
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::string response;
+    _pool->submit([&] {
+        std::string r = processRequest(line);
+        std::lock_guard<std::mutex> lk(m);
+        response = std::move(r);
+        done = true;
+        cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done; });
+    return response;
+}
+
+bool
+Server::sendLine(int fd, const std::string &line)
+{
+    std::string payload = line;
+    payload += '\n';
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        // MSG_NOSIGNAL: a client gone mid-response must be an EPIPE
+        // we count, never a SIGPIPE that kills the daemon.
+        const ssize_t n =
+            ::send(fd, payload.data() + off, payload.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+Server::handleConnection(int fd)
+{
+    Conn conn;
+    conn.fd = fd;
+    while (!_stopping.load(std::memory_order_acquire)) {
+        std::string line;
+        const ReadStatus rs = readRequestLine(conn, line);
+        if (rs == ReadStatus::Eof || rs == ReadStatus::Stopped)
+            break;
+        if (rs == ReadStatus::Oversize) {
+            _errors.fetch_add(1, std::memory_order_relaxed);
+            sendLine(fd,
+                     buildErrorResponse(
+                         0, "oversize",
+                         strfmt("request exceeds %zu bytes",
+                                _opts.maxRequestBytes)));
+            break; // the rest of the oversized line is unrecoverable
+        }
+        if (rs == ReadStatus::Timeout) {
+            _errors.fetch_add(1, std::memory_order_relaxed);
+            sendLine(fd,
+                     buildErrorResponse(
+                         0, "timeout",
+                         strfmt("request not completed within %d ms",
+                                _opts.requestTimeoutMs)));
+            break;
+        }
+        if (line.empty())
+            continue; // tolerate keep-alive blank lines
+        const std::string response = processOnPool(line);
+        if (!sendLine(fd, response)) {
+            _disconnects.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
+    ::close(fd);
+    _activeConns.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+Server::requestStop()
+{
+    _stopping.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(_mu);
+    _stopRequested = true;
+    _cv.notify_all();
+}
+
+void
+Server::waitUntilStopRequested()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    _cv.wait(lk, [this] { return _stopRequested; });
+}
+
+void
+Server::stop()
+{
+    if (!_started || _stopped)
+        return;
+    _stopped = true;
+
+    _stopping.store(true, std::memory_order_release);
+    {
+        const char byte = 'q';
+        [[maybe_unused]] const ssize_t n =
+            ::write(_wakePipe[1], &byte, 1);
+    }
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+
+    // No new connections can arrive now. Reader threads notice
+    // _stopping within a poll slice; ones with a request in flight
+    // wait for their pool worker (still alive below), flush the
+    // response and exit — the drain loses no accepted request.
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lk(_connMu);
+        readers.swap(_connThreads);
+    }
+    for (std::thread &t : readers)
+        t.join();
+    _pool.reset();
+
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+    if (!_opts.socketPath.empty())
+        ::unlink(_opts.socketPath.c_str());
+    for (int &fd : _wakePipe) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    g_signalWakeFd.store(-1, std::memory_order_relaxed);
+    requestStop(); // wake any waitUntilStopRequested() caller
+}
+
+Server::Stats
+Server::stats() const
+{
+    Stats s;
+    s.accepted = _accepted.load(std::memory_order_relaxed);
+    s.busyRejected = _busyRejected.load(std::memory_order_relaxed);
+    s.served = _served.load(std::memory_order_relaxed);
+    s.errors = _errors.load(std::memory_order_relaxed);
+    s.disconnects = _disconnects.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Server::installSignalHandlers(Server &server)
+{
+    DISTDA_ASSERT(server._wakePipe[1] >= 0,
+                  "serve: install handlers after start()");
+    g_signalWakeFd.store(server._wakePipe[1],
+                         std::memory_order_relaxed);
+
+    // A client that vanishes mid-write must surface as EPIPE on the
+    // write path, not as a process-terminating SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    struct sigaction sa = {};
+    sa.sa_handler = serveSignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: poll() must wake
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+} // namespace distda::serve

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The offload-as-a-service daemon core (tools/distda_serve is a thin
+ * CLI over this class). The paper's economics — compile once, invoke
+ * cheaply — only pay off across many offload requests, so the server
+ * turns the one-shot driver into a long-lived service:
+ *
+ *  - listens on a Unix-domain or loopback-TCP stream socket;
+ *  - an accept thread admits connections up to a bound, each driven by
+ *    a lightweight reader thread (cheap: blocked on poll between
+ *    requests), while the simulation work itself is scheduled on the
+ *    shared sweep ThreadPool — so `jobs` bounds concurrent *runs*, and
+ *    idle connections never starve active ones;
+ *  - each request line is parsed with the strict sim::json parser,
+ *    validated against the serve protocol schema, executed via
+ *    driver::runWorkload — plans resolve through the process-wide
+ *    PlanCache, so the first request per (kernel, config) fingerprint
+ *    compiles and every later one reuses the cached plan — and the
+ *    run-report JSON is streamed back as the response;
+ *  - failures are per-request: malformed JSON, schema violations,
+ *    oversized or timed-out requests, unknown workloads and
+ *    simulation fatal()s (captured per-thread via
+ *    ScopedFailureCapture, exactly like sweep failure isolation) all
+ *    produce an error reply on the same connection and never
+ *    terminate the daemon. A client disconnecting mid-response is
+ *    counted and survived (sends use MSG_NOSIGNAL; the CLI also
+ *    ignores SIGPIPE process-wide).
+ *
+ * Shutdown is a drain: stop() (or SIGINT/SIGTERM via
+ * installSignalHandlers) stops accepting, lets every in-flight
+ * request finish and flush its response, closes idle connections, and
+ * returns. Connections accepted but never served during the drain are
+ * closed without a reply.
+ */
+
+#ifndef DISTDA_SERVE_SERVER_HH
+#define DISTDA_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/protocol.hh"
+
+namespace distda::driver
+{
+class ThreadPool;
+}
+
+namespace distda::serve
+{
+
+/** Daemon configuration. */
+struct ServeOptions
+{
+    /** Unix-domain socket path; preferred transport when non-empty. */
+    std::string socketPath;
+    /**
+     * Loopback TCP port; used when socketPath is empty. 0 binds an
+     * ephemeral port (read it back from Server::port()); < 0 means
+     * no TCP listener.
+     */
+    int tcpPort = -1;
+    /**
+     * Concurrent simulation runs (sweep ThreadPool size); <= 0 means
+     * driver::defaultJobCount(). Connections beyond this still make
+     * progress — their requests queue FIFO for a pool worker.
+     */
+    int jobs = 0;
+    /** listen(2) backlog. */
+    int backlog = 64;
+    /**
+     * Admission bound on concurrently held connections (serving or
+     * queued for a worker). Beyond it a connection is answered with a
+     * "busy" error reply and closed immediately, so overload degrades
+     * into fast rejections instead of unbounded queueing.
+     */
+    int maxConnections = 256;
+    /** Request lines longer than this get an "oversize" error reply. */
+    std::size_t maxRequestBytes = 1 << 20;
+    /**
+     * Once the first byte of a request line has arrived, the rest
+     * must follow within this budget or the connection gets a
+     * "timeout" error reply and is closed. A connection idling
+     * *between* requests is fine indefinitely.
+     */
+    int requestTimeoutMs = 30'000;
+    /** Upper bound on the per-request "scale" knob. */
+    double maxScale = 4.0;
+};
+
+/** Long-lived offload service. */
+class Server
+{
+  public:
+    explicit Server(const ServeOptions &opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen and start the accept thread + worker pool.
+     * fatal() on unusable options (bad socket path, port in use).
+     */
+    void start();
+
+    /**
+     * Drain and shut down: stop accepting, finish in-flight requests,
+     * join everything. Idempotent; safe from any thread except a
+     * worker's own connection handler.
+     */
+    void stop();
+
+    /** Block until a stop was requested (signal or stop()). */
+    void waitUntilStopRequested();
+
+    /** Resolved TCP port (after start(); -1 when Unix-only). */
+    int port() const { return _port; }
+
+    /** Cumulative service counters. */
+    struct Stats
+    {
+        std::uint64_t accepted = 0;  ///< connections admitted
+        std::uint64_t busyRejected = 0;
+        std::uint64_t served = 0;    ///< successful run replies
+        std::uint64_t errors = 0;    ///< error replies sent
+        std::uint64_t disconnects = 0; ///< clients lost mid-stream
+    };
+
+    Stats stats() const;
+
+    /**
+     * Ignore SIGPIPE process-wide and route SIGINT/SIGTERM to a
+     * graceful drain of @p server (stop accepting, finish in-flight
+     * requests, wake waitUntilStopRequested). One server per process.
+     */
+    static void installSignalHandlers(Server &server);
+
+  private:
+    enum class ReadStatus
+    {
+        Line,     ///< a complete request line was read
+        Eof,      ///< clean close (or error) from the client
+        Stopped,  ///< server is draining
+        Oversize, ///< line exceeded maxRequestBytes
+        Timeout,  ///< partial line stalled past requestTimeoutMs
+    };
+
+    /** Per-connection receive state. */
+    struct Conn
+    {
+        int fd = -1;
+        std::string buf; ///< bytes past the last extracted line
+    };
+
+    void acceptLoop();
+    void handleConnection(int fd);
+    ReadStatus readRequestLine(Conn &conn, std::string &line);
+    std::string processRequest(const std::string &line);
+    /** Run processRequest on a pool worker; park the reader thread. */
+    std::string processOnPool(const std::string &line);
+    bool sendLine(int fd, const std::string &line);
+    void requestStop();
+
+    ServeOptions _opts;
+    int _listenFd = -1;
+    int _port = -1;
+    int _wakePipe[2] = {-1, -1};
+
+    std::unique_ptr<driver::ThreadPool> _pool;
+    std::thread _acceptThread;
+    std::mutex _connMu;
+    std::vector<std::thread> _connThreads;
+
+    std::atomic<bool> _stopping{false};
+    std::atomic<int> _activeConns{0};
+    bool _started = false;
+    bool _stopped = false;
+
+    mutable std::mutex _mu;
+    std::condition_variable _cv;
+    bool _stopRequested = false;
+
+    std::atomic<std::uint64_t> _accepted{0};
+    std::atomic<std::uint64_t> _busyRejected{0};
+    std::atomic<std::uint64_t> _served{0};
+    std::atomic<std::uint64_t> _errors{0};
+    std::atomic<std::uint64_t> _disconnects{0};
+};
+
+} // namespace distda::serve
+
+#endif // DISTDA_SERVE_SERVER_HH

@@ -19,6 +19,8 @@ jsonEscape(const std::string &s)
         switch (ch) {
           case '"': out += "\\\""; break;
           case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
           case '\n': out += "\\n"; break;
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;
@@ -173,6 +175,22 @@ JsonWriter::value(bool v)
     return *this;
 }
 
+JsonWriter &
+JsonWriter::nullValue()
+{
+    beforeValue();
+    _out += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &json)
+{
+    beforeValue();
+    _out += json;
+    return *this;
+}
+
 const std::string &
 JsonWriter::str() const
 {
@@ -278,6 +296,54 @@ class JsonParser
             ++_pos;
     }
 
+    /**
+     * Read the four hex digits of a \u escape. Expects _pos on the
+     * 'u'; leaves it on the last digit (the shared ++_pos after the
+     * escape switch steps past it).
+     */
+    bool
+    readHex4(unsigned &cp)
+    {
+        if (_pos + 4 >= _s.size())
+            return fail("truncated \\u escape");
+        cp = 0;
+        for (int k = 1; k <= 4; ++k) {
+            const char h = _s[_pos + k];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+                cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+        }
+        _pos += 4;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
     bool
     literal(const char *word)
     {
@@ -315,39 +381,31 @@ class JsonParser
               case 'r': out.push_back('\r'); break;
               case 't': out.push_back('\t'); break;
               case 'u': {
-                  if (_pos + 4 >= _s.size())
-                      return fail("truncated \\u escape");
                   unsigned cp = 0;
-                  for (int k = 1; k <= 4; ++k) {
-                      const char h = _s[_pos + k];
-                      cp <<= 4;
-                      if (h >= '0' && h <= '9')
-                          cp |= static_cast<unsigned>(h - '0');
-                      else if (h >= 'a' && h <= 'f')
-                          cp |= static_cast<unsigned>(h - 'a' + 10);
-                      else if (h >= 'A' && h <= 'F')
-                          cp |= static_cast<unsigned>(h - 'A' + 10);
-                      else
-                          return fail("bad \\u escape digit");
+                  if (!readHex4(cp))
+                      return false;
+                  if (cp >= 0xDC00 && cp <= 0xDFFF)
+                      return fail("lone low surrogate in \\u escape");
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      // A high surrogate is only valid as the first
+                      // half of an immediately following \uDC00-\uDFFF
+                      // escape; together they name one supplementary-
+                      // plane code point (RFC 8259 §7).
+                      if (_pos + 2 >= _s.size() ||
+                          _s[_pos + 1] != '\\' || _s[_pos + 2] != 'u')
+                          return fail(
+                              "unpaired high surrogate in \\u escape");
+                      _pos += 2;
+                      unsigned lo = 0;
+                      if (!readHex4(lo))
+                          return false;
+                      if (lo < 0xDC00 || lo > 0xDFFF)
+                          return fail(
+                              "unpaired high surrogate in \\u escape");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
                   }
-                  _pos += 4;
-                  // UTF-8 encode (BMP only; the writer never emits
-                  // surrogate pairs).
-                  if (cp < 0x80) {
-                      out.push_back(static_cast<char>(cp));
-                  } else if (cp < 0x800) {
-                      out.push_back(
-                          static_cast<char>(0xC0 | (cp >> 6)));
-                      out.push_back(
-                          static_cast<char>(0x80 | (cp & 0x3F)));
-                  } else {
-                      out.push_back(
-                          static_cast<char>(0xE0 | (cp >> 12)));
-                      out.push_back(static_cast<char>(
-                          0x80 | ((cp >> 6) & 0x3F)));
-                      out.push_back(
-                          static_cast<char>(0x80 | (cp & 0x3F)));
-                  }
+                  appendUtf8(out, cp);
                   break;
               }
               default:
@@ -489,6 +547,39 @@ parseJson(const std::string &text, const char *what)
     if (!tryParseJson(text, v, err))
         fatal("%s: malformed JSON: %s", what, err.c_str());
     return v;
+}
+
+void
+dumpJsonValue(const JsonValue &v, JsonWriter &w)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        w.nullValue();
+        break;
+      case JsonValue::Kind::Bool:
+        w.value(v.b);
+        break;
+      case JsonValue::Kind::Number:
+        w.value(v.num);
+        break;
+      case JsonValue::Kind::String:
+        w.value(v.str);
+        break;
+      case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &elem : v.arr)
+            dumpJsonValue(elem, w);
+        w.endArray();
+        break;
+      case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto &[key, member] : v.obj) {
+            w.key(key);
+            dumpJsonValue(member, w);
+        }
+        w.endObject();
+        break;
+    }
 }
 
 } // namespace distda::sim

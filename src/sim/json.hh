@@ -48,6 +48,17 @@ class JsonWriter
     JsonWriter &value(std::int64_t v);
     JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
     JsonWriter &value(bool v);
+    JsonWriter &nullValue();
+
+    /**
+     * Splice @p json verbatim as the next value. The caller guarantees
+     * it is one complete, valid JSON value (e.g. a document produced
+     * by another JsonWriter); the writer only handles the surrounding
+     * comma/key discipline. The serve layer uses this to embed an
+     * already-built run report inside a response envelope without
+     * re-parsing it.
+     */
+    JsonWriter &rawValue(const std::string &json);
 
     /** The document so far; call once everything is closed. */
     const std::string &str() const;
@@ -110,15 +121,21 @@ struct JsonValue
 /**
  * Parse a complete JSON document. On success returns true and fills
  * @p out; on malformed input returns false with a position-annotated
- * message in @p err. Accepts exactly what JsonWriter emits (RFC 8259
- * minus \uXXXX escapes above the ASCII range, which the writer never
- * produces).
+ * message in @p err. Accepts full RFC 8259, including `\uXXXX` escapes
+ * for any code point: BMP escapes decode to UTF-8 directly and
+ * surrogate pairs combine into their supplementary-plane code point.
+ * Lone or malformed surrogate halves are rejected with the offending
+ * offset — request JSON authored by external serve clients must not
+ * smuggle invalid UTF-8 through the escape syntax.
  */
 bool tryParseJson(const std::string &text, JsonValue &out,
                   std::string &err);
 
 /** tryParseJson() that is fatal on malformed input, naming @p what. */
 JsonValue parseJson(const std::string &text, const char *what);
+
+/** Re-serialize a parsed value through @p w (document order kept). */
+void dumpJsonValue(const JsonValue &v, JsonWriter &w);
 
 } // namespace distda::sim
 

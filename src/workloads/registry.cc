@@ -69,4 +69,14 @@ makeWorkload(const std::string &name, double scale)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+bool
+hasWorkload(const std::string &name)
+{
+    for (const auto &[wname, factory] : registry()) {
+        if (wname == name)
+            return true;
+    }
+    return false;
+}
+
 } // namespace distda::workloads

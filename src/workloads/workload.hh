@@ -47,6 +47,14 @@ class Workload
 std::vector<std::string> workloadNames();
 
 /**
+ * True when @p name is registered (including case studies excluded
+ * from workloadNames(), e.g. "spmv"). Lets the serve layer turn an
+ * unknown-workload request into an error reply without relying on
+ * makeWorkload()'s fatal().
+ */
+bool hasWorkload(const std::string &name);
+
+/**
  * Instantiate a workload. @p scale multiplies the default problem
  * size; 1.0 is the suite default documented in EXPERIMENTS.md.
  */

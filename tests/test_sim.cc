@@ -493,3 +493,111 @@ TEST(Json, FindAndAtBehave)
     EXPECT_TRUE(doc.at("b").isNull());
     EXPECT_PANIC((void)doc.at("missing"), "missing");
 }
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    sim::JsonValue v;
+    std::string err;
+
+    // One escape from each UTF-8 length class (RFC 8259 section 7).
+    ASSERT_TRUE(sim::tryParseJson(R"("\u0041")", v, err)) << err;
+    EXPECT_EQ(v.str, "A");
+    ASSERT_TRUE(sim::tryParseJson(R"("\u00E9")", v, err)) << err;
+    EXPECT_EQ(v.str, "\xc3\xa9"); // e-acute
+    ASSERT_TRUE(sim::tryParseJson(R"("\u20AC")", v, err)) << err;
+    EXPECT_EQ(v.str, "\xe2\x82\xac"); // euro sign
+    ASSERT_TRUE(sim::tryParseJson(R"("\u0000")", v, err)) << err;
+    EXPECT_EQ(v.str, std::string(1, '\0'));
+
+    // A surrogate pair combines into one 4-byte code point
+    // (U+1D11E, musical G clef).
+    ASSERT_TRUE(sim::tryParseJson(R"("\uD834\uDD1E")", v, err)) << err;
+    EXPECT_EQ(v.str, "\xf0\x9d\x84\x9e");
+    // Lowercase hex digits and surrounding text both work
+    // (U+1F600, grinning face).
+    ASSERT_TRUE(sim::tryParseJson(R"("a\ud83d\ude00z")", v, err)) << err;
+    EXPECT_EQ(v.str, "a\xf0\x9f\x98\x80z");
+}
+
+TEST(Json, LoneAndMalformedSurrogatesAreRejectedWithPosition)
+{
+    sim::JsonValue v;
+    std::string err;
+    const struct
+    {
+        const char *text;
+        const char *fragment;
+    } bad[] = {
+        {R"("\uD834")", "unpaired high surrogate"},
+        {R"("\uD834x")", "unpaired high surrogate"},
+        {R"("\uD834\n")", "unpaired high surrogate"},
+        {R"("\uD834\uD834")", "unpaired high surrogate"},
+        {R"("\uD834A")", "unpaired high surrogate"},
+        {R"("\uDD1E")", "lone low surrogate"},
+        {R"("\uD8")", "\\u escape"},
+        {R"("\uZZZZ")", "\\u escape"},
+    };
+    for (const auto &c : bad) {
+        EXPECT_FALSE(sim::tryParseJson(c.text, v, err))
+            << "accepted: " << c.text;
+        EXPECT_NE(err.find(c.fragment), std::string::npos)
+            << c.text << " -> " << err;
+        EXPECT_NE(err.find("offset"), std::string::npos)
+            << c.text << " -> " << err;
+    }
+}
+
+TEST(Json, WriterEscapesControlCharactersRoundTrip)
+{
+    // Every C0 control character must be escaped on output and decode
+    // back to itself; \b, \f, \n, \r, \t use their short forms.
+    std::string raw;
+    for (char c = 1; c < 0x20; ++c)
+        raw.push_back(c);
+    raw.push_back('\0');
+
+    const std::string escaped = sim::jsonEscape(raw);
+    EXPECT_NE(escaped.find("\\b"), std::string::npos);
+    EXPECT_NE(escaped.find("\\f"), std::string::npos);
+    EXPECT_NE(escaped.find("\\n"), std::string::npos);
+    EXPECT_NE(escaped.find("\\u0000"), std::string::npos);
+    for (char c : escaped)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+
+    sim::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(sim::tryParseJson("\"" + escaped + "\"", v, err))
+        << err;
+    EXPECT_EQ(v.str, raw);
+}
+
+TEST(Json, RawValueAndDumpSpliceVerbatim)
+{
+    // rawValue splices an already-serialized document; dumpJsonValue
+    // re-serializes a parsed one. Together they round-trip a report
+    // subtree byte-exactly through an envelope.
+    sim::JsonWriter inner;
+    inner.beginObject();
+    inner.key("metric").value(0.5);
+    inner.key("note").value("caf\xc3\xa9");
+    inner.endObject();
+    const std::string report = inner.str();
+
+    sim::JsonWriter envelope;
+    envelope.beginObject();
+    envelope.key("ok").value(true);
+    envelope.key("missing").nullValue();
+    envelope.key("report").rawValue(report);
+    envelope.endObject();
+
+    sim::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(sim::tryParseJson(envelope.str(), doc, err)) << err;
+    EXPECT_TRUE(doc.at("missing").isNull());
+    ASSERT_TRUE(doc.at("report").isObject());
+    EXPECT_DOUBLE_EQ(doc.at("report").at("metric").num, 0.5);
+
+    sim::JsonWriter dumped;
+    sim::dumpJsonValue(doc.at("report"), dumped);
+    EXPECT_EQ(dumped.str(), report);
+}

@@ -95,28 +95,6 @@ using namespace distda;
 namespace
 {
 
-const std::vector<driver::ArchModel> &
-allModels()
-{
-    static const std::vector<driver::ArchModel> models = {
-        driver::ArchModel::OoO,          driver::ArchModel::MonoCA,
-        driver::ArchModel::MonoDA_IO,    driver::ArchModel::MonoDA_F,
-        driver::ArchModel::DistDA_IO,    driver::ArchModel::DistDA_F,
-        driver::ArchModel::DistDA_IO_SW, driver::ArchModel::DistDA_F_A,
-    };
-    return models;
-}
-
-driver::ArchModel
-parseModel(const std::string &name)
-{
-    for (driver::ArchModel m : allModels()) {
-        if (name == driver::archModelName(m))
-            return m;
-    }
-    fatal("unknown config '%s' (try --list)", name.c_str());
-}
-
 compiler::VerifyMode
 parseVerifyMode(const std::string &name)
 {
@@ -140,7 +118,7 @@ printList()
         std::printf("  %s\n", w.c_str());
     std::printf("  spmv (case study; not part of 'all')\n");
     std::printf("configs (--config=; 'all' sweeps the headline 6):\n");
-    for (driver::ArchModel m : allModels())
+    for (driver::ArchModel m : driver::allArchModels())
         std::printf("  %s\n", driver::archModelName(m));
     std::printf("  all\n");
 }
@@ -357,7 +335,7 @@ main(int argc, char **argv)
     if (config == "all")
         models = driver::headlineModels();
     else
-        models.push_back(parseModel(config));
+        models.push_back(driver::parseArchModel(config));
 
     if (verify_only) {
         // Verification prints per-kernel diagnostics as it goes, so it
